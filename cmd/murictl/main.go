@@ -1,0 +1,134 @@
+// Command murictl is the client for a running Muri scheduler daemon.
+//
+// Usage:
+//
+//	murictl -scheduler localhost:7800 submit -model gpt2 -gpus 2 -iters 100000
+//	murictl -scheduler localhost:7800 status
+//	murictl -scheduler localhost:7800 wait -timeout 10m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"muri/internal/server"
+	"muri/internal/trace"
+	"muri/internal/workload"
+)
+
+func main() {
+	scheduler := flag.String("scheduler", "localhost:7800", "scheduler address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | models")
+		os.Exit(2)
+	}
+	if args[0] == "models" {
+		// Offline subcommand: no scheduler needed.
+		for _, m := range workload.Zoo() {
+			fmt.Printf("%-10s %-4s %-10s batch=%-4d bottleneck=%s\n",
+				m.Name, m.Family, m.Dataset, m.BatchSize, m.Bottleneck())
+		}
+		return
+	}
+	c, err := server.Dial(*scheduler)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		model := fs.String("model", "gpt2", "zoo model name")
+		gpus := fs.Int("gpus", 1, "GPU count")
+		iters := fs.Int64("iters", 10000, "training iterations")
+		_ = fs.Parse(args[1:])
+		id, err := c.Submit(*model, *gpus, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("submitted job %d (%s, %d GPUs, %d iterations)\n", id, *model, *gpus, *iters)
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("executors=%d pending=%d running=%d done=%d\n",
+			st.Executors, st.Pending, st.Running, st.Done)
+		for _, j := range st.Jobs {
+			line := fmt.Sprintf("job %d %-10s %-9s %d/%d iterations", j.ID, j.Model, j.State, j.DoneIterations, j.Iterations)
+			if j.JCT > 0 {
+				line += fmt.Sprintf("  JCT=%v", j.JCT.Round(time.Second))
+			}
+			fmt.Println(line)
+		}
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ExitOnError)
+		timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait")
+		_ = fs.Parse(args[1:])
+		st, err := c.WaitAllDone(*timeout, time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d jobs done\n", st.Done)
+	case "replay":
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		path := fs.String("trace", "", "trace CSV (from tracegen)")
+		timeScale := fs.Float64("timescale", 0.001, "virtual-to-wall compression for inter-arrival gaps")
+		_ = fs.Parse(args[1:])
+		if *path == "" {
+			fmt.Fprintln(os.Stderr, "murictl: replay needs -trace")
+			os.Exit(2)
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		tr, err := trace.ReadCSV(*path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		ids, err := c.Replay(context.Background(), tr, *timeScale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v (submitted %d)\n", err, len(ids))
+			os.Exit(1)
+		}
+		fmt.Printf("replayed %d jobs\n", len(ids))
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		every := fs.Duration("every", time.Second, "refresh period")
+		_ = fs.Parse(args[1:])
+		for {
+			st, err := c.Status()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+				os.Exit(1)
+			}
+			line := fmt.Sprintf("executors=%d pending=%d running=%d done=%d",
+				st.Executors, st.Pending, st.Running, st.Done)
+			if v, ok := st.Extra["avg_jct_s"].(float64); ok {
+				line += fmt.Sprintf(" avgJCT=%v", (time.Duration(v * float64(time.Second))).Round(time.Second))
+			}
+			fmt.Println(line)
+			if len(st.Jobs) > 0 && st.Pending == 0 && st.Running == 0 {
+				return
+			}
+			time.Sleep(*every)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "murictl: unknown subcommand %q\n", args[0])
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,37 @@
+// Command muriexec runs a Muri executor agent on one machine: it
+// registers its GPU inventory with the scheduler and executes
+// interleaving groups with per-stage synchronization barriers.
+//
+// Usage:
+//
+//	muriexec -scheduler localhost:7800 -machine m0 -gpus 8
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"muri/internal/executor"
+)
+
+func main() {
+	var (
+		scheduler = flag.String("scheduler", "localhost:7800", "scheduler address")
+		machine   = flag.String("machine", "m0", "machine identifier")
+		gpus      = flag.Int("gpus", 8, "GPU inventory to advertise")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	agent := &executor.Agent{MachineID: *machine, GPUs: *gpus}
+	log.Printf("muriexec: machine %s (%d GPUs) connecting to %s", *machine, *gpus, *scheduler)
+	// Reconnect with backoff across scheduler restarts; ^C exits.
+	if err := agent.RunWithRetry(ctx, *scheduler, 30*time.Second); err != nil && ctx.Err() == nil {
+		log.Fatalf("muriexec: %v", err)
+	}
+}

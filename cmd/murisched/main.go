@@ -1,0 +1,68 @@
+// Command murisched runs the Muri scheduler daemon (paper Figure 3):
+// executors connect with muriexec, clients submit jobs with murictl.
+//
+// Usage:
+//
+//	murisched -addr :7800 -policy muri-l -interval 6m -timescale 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"muri/internal/sched"
+	"muri/internal/server"
+)
+
+func policyByName(name string) (sched.Policy, error) {
+	switch name {
+	case "fifo":
+		return sched.FIFO(), nil
+	case "srtf":
+		return sched.SRTF(), nil
+	case "srsf":
+		return sched.SRSF(), nil
+	case "tiresias":
+		return sched.Tiresias(), nil
+	case "themis":
+		return sched.Themis(), nil
+	case "antman":
+		return sched.AntMan{}, nil
+	case "muri-s":
+		return sched.NewMuriS(), nil
+	case "muri-l":
+		return sched.NewMuriL(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7800", "listen address")
+		policy    = flag.String("policy", "muri-l", "scheduling policy (fifo|srtf|srsf|tiresias|themis|antman|muri-s|muri-l)")
+		interval  = flag.Duration("interval", time.Second, "scheduling interval (wall time)")
+		timeScale = flag.Float64("timescale", 0.001, "virtual-to-wall time scale forwarded to executors")
+		report    = flag.Duration("report", 200*time.Millisecond, "executor progress-report period")
+	)
+	flag.Parse()
+
+	p, err := policyByName(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "murisched: %v\n", err)
+		os.Exit(2)
+	}
+	srv := server.New(server.Config{
+		Policy:      p,
+		Interval:    *interval,
+		TimeScale:   *timeScale,
+		ReportEvery: *report,
+	})
+	log.Printf("murisched: %s policy, listening on %s", p.Name(), *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("murisched: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command murisim regenerates the paper's evaluation tables and figures
+// through the trace-driven simulator.
+//
+// Usage:
+//
+//	murisim -experiment all                 # everything, paper scale
+//	murisim -experiment table4 -quick       # one experiment, reduced scale
+//	murisim -experiment figure9 -maxjobs 500
+//
+// Experiments: table1, table2, table4, table5, figure8, figure9,
+// figure10, figure11, figure12, figure13, figure14, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"muri/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which table/figure to regenerate")
+		quick      = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		machines   = flag.Int("machines", 8, "number of machines in the simulated cluster")
+		gpus       = flag.Int("gpus", 8, "GPUs per machine")
+		maxJobs    = flag.Int("maxjobs", 0, "truncate each trace to this many jobs (0 = full)")
+		seriesDir  = flag.String("series-out", "", "directory for per-policy Figure 8 time-series CSVs")
+	)
+	flag.Parse()
+
+	opt := experiments.Full()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	opt.Machines = *machines
+	opt.GPUsPerMachine = *gpus
+	if *maxJobs > 0 {
+		opt.MaxJobs = *maxJobs
+	}
+
+	type runner struct {
+		name string
+		run  func() experiments.Table
+	}
+	runners := []runner{
+		{"table1", func() experiments.Table { return experiments.Table1() }},
+		{"table2", func() experiments.Table { return experiments.Table2().Table }},
+		{"table4", func() experiments.Table { _, t := opt.Table4(); return t }},
+		{"table5", func() experiments.Table { _, t := opt.Table5(); return t }},
+		{"figure8", func() experiments.Table {
+			results, t := opt.Figure8()
+			if *seriesDir != "" {
+				for _, r := range results {
+					path := filepath.Join(*seriesDir, "figure8-"+r.Policy+".csv")
+					f, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
+						os.Exit(1)
+					}
+					if err := experiments.WriteSeriesCSV(f, r); err != nil {
+						fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
+						os.Exit(1)
+					}
+					f.Close()
+					fmt.Fprintf(os.Stderr, "murisim: wrote %s\n", path)
+				}
+			}
+			return t
+		}},
+		{"figure9", func() experiments.Table { _, t := opt.Figure9(); return t }},
+		{"figure10", func() experiments.Table { _, t := opt.Figure10(); return t }},
+		{"figure11", func() experiments.Table { _, t := opt.Figure11(); return t }},
+		{"figure12", func() experiments.Table { _, t := opt.Figure12(); return t }},
+		{"figure13", func() experiments.Table { _, t := opt.Figure13(); return t }},
+		{"figure14", func() experiments.Table { _, t := opt.Figure14(); return t }},
+		{"fidelity", func() experiments.Table {
+			res, err := experiments.RunFidelity(experiments.DefaultFidelityConfig())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "murisim: fidelity: %v\n", err)
+				os.Exit(1)
+			}
+			return experiments.FidelityTable(res)
+		}},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *experiment != "all" && *experiment != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		tbl := r.run()
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "murisim: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

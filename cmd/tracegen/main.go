@@ -1,0 +1,66 @@
+// Command tracegen emits a synthetic Philly-like DL job trace as CSV.
+//
+// Usage:
+//
+//	tracegen -jobs 992 -seed 1 -interarrival 90s > trace1.csv
+//	tracegen -jobs 400 -zero-submit -types 2 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"muri/internal/trace"
+)
+
+func main() {
+	var (
+		jobs         = flag.Int("jobs", 992, "number of jobs")
+		seed         = flag.Int64("seed", 1, "RNG seed")
+		interarrival = flag.Duration("interarrival", 90*time.Second, "mean job inter-arrival time")
+		median       = flag.Duration("median", 20*time.Minute, "median job duration")
+		maxDur       = flag.Duration("maxdur", 24*time.Hour, "maximum job duration (before the large-job cap)")
+		maxGPUs      = flag.Int("maxgpus", 64, "largest job GPU count")
+		types        = flag.Int("types", 4, "number of bottleneck job types (1-4)")
+		zeroSubmit   = flag.Bool("zero-submit", false, "set every submission time to zero (the trace-prime variants)")
+		out          = flag.String("o", "", "output file (default stdout)")
+		name         = flag.String("name", "trace", "trace name")
+		stats        = flag.Bool("stats", false, "print workload statistics to stderr")
+		capacity     = flag.Int("capacity", 64, "cluster GPU capacity used for the load-factor statistic")
+	)
+	flag.Parse()
+
+	tr := trace.Generate(trace.GenConfig{
+		Name:             *name,
+		Jobs:             *jobs,
+		Seed:             *seed,
+		MeanInterarrival: *interarrival,
+		MedianDuration:   *median,
+		MaxDuration:      *maxDur,
+		MaxGPUs:          *maxGPUs,
+		JobTypes:         *types,
+	})
+	if *zeroSubmit {
+		tr = tr.ZeroSubmit()
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, %.1f GPU-hours\n", len(tr.Specs), tr.TotalGPUHours())
+	if *stats {
+		fmt.Fprintln(os.Stderr, tr.ComputeStats(*capacity).String())
+	}
+}

@@ -1,0 +1,63 @@
+package muri_test
+
+import (
+	"fmt"
+	"time"
+
+	"muri"
+)
+
+// ExampleEfficiency reproduces the paper's §4.1 example: interleaving two
+// perfectly complementary jobs yields efficiency 1.0 on the two resources
+// they use (here expressed over all four resource types).
+func ExampleEfficiency() {
+	cpuHeavy := muri.StageTimes{0, 2 * time.Second, 1 * time.Second, 0}
+	gpuHeavy := muri.StageTimes{0, 1 * time.Second, 2 * time.Second, 0}
+	gamma := muri.Efficiency([]muri.StageTimes{cpuHeavy, gpuHeavy})
+	fmt.Printf("gamma = %.2f\n", gamma)
+	// Output: gamma = 0.38
+}
+
+// ExamplePlanGroup plans the Table 2 group: the four zoo models that are
+// bottlenecked on four different resources.
+func ExamplePlanGroup() {
+	var profiles []muri.StageTimes
+	for _, name := range []string{"shufflenet", "a2c", "gpt2", "vgg16"} {
+		m, _ := muri.ModelByName(name)
+		profiles = append(profiles, m.Stages)
+	}
+	plan := muri.PlanGroup(profiles)
+	fmt.Printf("group of %d jobs, efficiency %.2f\n", len(plan.Order), plan.Efficiency)
+	// Output: group of 4 jobs, efficiency 0.64
+}
+
+// ExampleModelByName shows the model zoo lookup.
+func ExampleModelByName() {
+	m, _ := muri.ModelByName("a2c")
+	fmt.Printf("%s is %s-bound\n", m.Name, m.Bottleneck())
+	// Output: a2c is cpu-bound
+}
+
+// ExampleSimulate runs a small deterministic trace under Muri-S.
+func ExampleSimulate() {
+	tr := muri.GenerateTrace(muri.TraceGen{
+		Name: "example", Jobs: 20, Seed: 1, MaxGPUs: 8,
+		MeanInterarrival: time.Minute,
+		MedianDuration:   10 * time.Minute,
+		MaxDuration:      30 * time.Minute,
+	})
+	cfg := muri.DefaultSimConfig()
+	cfg.Machines = 1
+	res := muri.Simulate(cfg, tr, muri.MuriS())
+	fmt.Printf("completed %d jobs\n", res.Summary.Jobs)
+	// Output: completed 20 jobs
+}
+
+// ExampleModelParallelWorkers splits BERT across a 2-stage pipeline (§7).
+func ExampleModelParallelWorkers() {
+	m, _ := muri.ModelByName("bert")
+	workers, _ := muri.ModelParallelWorkers(m, muri.ModelParallelConfig{Workers: 2})
+	fmt.Printf("head bottleneck: %s, tail bottleneck: %s\n",
+		workers[0].Bottleneck(), workers[1].Bottleneck())
+	// Output: head bottleneck: gpu, tail bottleneck: network
+}

@@ -1,0 +1,54 @@
+// Ablation: the design-choice experiments of Figures 11 and 12 at small
+// scale. It compares Muri-L against its worst-stage-ordering and
+// no-Blossom variants, and sweeps the maximum group size from 2 to 4 on a
+// fully loaded (zero-submit) trace.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"muri"
+	"muri/internal/core"
+	"muri/internal/sched"
+)
+
+func variant(label string, mutate func(*core.Config)) *sched.Muri {
+	p := sched.NewMuriL()
+	p.Label = label
+	mutate(&p.Grouping)
+	return p
+}
+
+func main() {
+	tr := muri.GenerateTrace(muri.TraceGen{
+		Name: "ablation", Jobs: 250, Seed: 11, MaxGPUs: 64,
+		MeanInterarrival: 45 * time.Second,
+	}).ZeroSubmit()
+	cfg := muri.DefaultSimConfig()
+
+	fmt.Println("Figure 11-style ablation: ordering and matching choices")
+	base := muri.Simulate(cfg, tr, muri.MuriL()).Summary
+	fmt.Printf("  %-22s avgJCT=%v makespan=%v\n", "muri-l", base.AvgJCT.Round(time.Minute), base.Makespan.Round(time.Minute))
+	for _, p := range []*sched.Muri{
+		variant("muri-l w/ worst order", func(c *core.Config) { c.WorstOrdering = true }),
+		variant("muri-l w/o blossom", func(c *core.Config) { c.UseBlossom = false }),
+	} {
+		s := muri.Simulate(cfg, tr, p).Summary
+		fmt.Printf("  %-22s avgJCT=%v (%.2fx of muri-l) makespan=%v (%.2fx)\n",
+			p.Name(), s.AvgJCT.Round(time.Minute), float64(s.AvgJCT)/float64(base.AvgJCT),
+			s.Makespan.Round(time.Minute), float64(s.Makespan)/float64(base.Makespan))
+	}
+
+	fmt.Println("\nFigure 12-style ablation: maximum jobs per group")
+	for _, max := range []int{2, 3, 4} {
+		maxSize := max
+		p := variant(fmt.Sprintf("muri-l-%d", maxSize), func(c *core.Config) { c.MaxGroupSize = maxSize })
+		s := muri.Simulate(cfg, tr, p).Summary
+		fmt.Printf("  %-10s avgJCT=%v makespan=%v\n",
+			p.Name(), s.AvgJCT.Round(time.Minute), s.Makespan.Round(time.Minute))
+	}
+	antman := muri.Simulate(cfg, tr, muri.AntMan()).Summary
+	fmt.Printf("  %-10s avgJCT=%v makespan=%v (GPU sharing without interleaving)\n",
+		"antman", antman.AvgJCT.Round(time.Minute), antman.Makespan.Round(time.Minute))
+}

@@ -1,0 +1,3 @@
+module muri
+
+go 1.22

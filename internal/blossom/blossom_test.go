@@ -1,0 +1,370 @@
+package blossom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func checkValidMatching(t *testing.T, n int, edges []Edge, mate []int) {
+	t.Helper()
+	if len(mate) != n {
+		t.Fatalf("mate has length %d, want %d", len(mate), n)
+	}
+	adjacent := make(map[[2]int]bool)
+	for _, e := range edges {
+		adjacent[[2]int{e.I, e.J}] = true
+		adjacent[[2]int{e.J, e.I}] = true
+	}
+	for v, w := range mate {
+		if w == -1 {
+			continue
+		}
+		if w < 0 || w >= n {
+			t.Fatalf("mate[%d] = %d out of range", v, w)
+		}
+		if mate[w] != v {
+			t.Fatalf("asymmetric: mate[%d]=%d but mate[%d]=%d", v, w, w, mate[w])
+		}
+		if !adjacent[[2]int{v, w}] {
+			t.Fatalf("matched pair (%d,%d) is not an edge", v, w)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	mate := MaxWeightMatching(0, nil, false)
+	if len(mate) != 0 {
+		t.Errorf("empty graph mate = %v, want []", mate)
+	}
+	mate = MaxWeightMatching(3, nil, false)
+	for v, w := range mate {
+		if w != -1 {
+			t.Errorf("mate[%d] = %d, want -1 for edgeless graph", v, w)
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	mate := MaxWeightMatching(2, []Edge{{0, 1, 1}}, false)
+	if mate[0] != 1 || mate[1] != 0 {
+		t.Errorf("mate = %v, want [1 0]", mate)
+	}
+}
+
+func TestNegativeEdgeSkipped(t *testing.T) {
+	mate := MaxWeightMatching(2, []Edge{{0, 1, -5}}, false)
+	if mate[0] != -1 || mate[1] != -1 {
+		t.Errorf("mate = %v, want unmatched for negative weight", mate)
+	}
+	// With maxCardinality the negative edge must be used anyway.
+	mate = MaxWeightMatching(2, []Edge{{0, 1, -5}}, true)
+	if mate[0] != 1 {
+		t.Errorf("maxCardinality mate = %v, want [1 0]", mate)
+	}
+}
+
+func TestPathPicksBestPair(t *testing.T) {
+	// Path 1-2-3 with weights 10 and 11: only one edge can be used.
+	mate := MaxWeightMatching(4, []Edge{{1, 2, 10}, {2, 3, 11}}, false)
+	if mate[2] != 3 || mate[3] != 2 || mate[1] != -1 {
+		t.Errorf("mate = %v, want 2-3 matched", mate)
+	}
+}
+
+func TestPathPrefersTwoEdgesWhenHeavier(t *testing.T) {
+	// Path 1-2-3-4: 5+8 > 11 alone? (1,2)=5 (2,3)=11 (3,4)=5: best is 11.
+	mate := MaxWeightMatching(5, []Edge{{1, 2, 5}, {2, 3, 11}, {3, 4, 5}}, false)
+	if mate[2] != 3 {
+		t.Errorf("mate = %v, want middle edge", mate)
+	}
+	// With weights (1,2)=8 (2,3)=10 (3,4)=8 the two outer edges win.
+	mate = MaxWeightMatching(5, []Edge{{1, 2, 8}, {2, 3, 10}, {3, 4, 8}}, false)
+	if mate[1] != 2 || mate[3] != 4 {
+		t.Errorf("mate = %v, want outer edges", mate)
+	}
+}
+
+func TestTriangleBlossom(t *testing.T) {
+	// A triangle forces a blossom; extra pendant vertex resolves it.
+	// Classic van Rantwijk test case 14: "create S-blossom and use it for
+	// augmentation".
+	edges := []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}}
+	mate := MaxWeightMatching(5, edges, false)
+	want := []int{-1, 2, 1, 4, 3}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestSBlossomWithPendants(t *testing.T) {
+	// van Rantwijk test 14 variant with two pendant edges.
+	edges := []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6, 5}, {4, 5, 6}}
+	mate := MaxWeightMatching(7, edges, false)
+	want := []int{-1, 6, 3, 2, 5, 4, 1}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestTBlossomAugmentation(t *testing.T) {
+	// van Rantwijk test 15: create nested S-blossom and use for augmentation.
+	edges := []Edge{{1, 2, 9}, {1, 3, 9}, {2, 3, 10}, {2, 4, 8}, {3, 5, 8}, {4, 5, 10}, {5, 6, 6}}
+	mate := MaxWeightMatching(7, edges, false)
+	want := []int{-1, 3, 4, 1, 2, 6, 5}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestNestedSBlossomExpansion(t *testing.T) {
+	// van Rantwijk test 21: create nested S-blossom, augment, expand nested.
+	edges := []Edge{
+		{1, 2, 9}, {1, 3, 9}, {2, 3, 10}, {2, 4, 8}, {3, 5, 8},
+		{4, 5, 10}, {5, 6, 6},
+	}
+	mate := MaxWeightMatching(7, edges, false)
+	checkValidMatching(t, 7, edges, mate)
+	got := MatchingWeight(mate, edges)
+	want := BruteForceMaxWeight(7, edges, false)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("weight = %v, want %v", got, want)
+	}
+}
+
+func TestSToTBlossomRelabel(t *testing.T) {
+	// van Rantwijk test 20: create blossom, relabel as T-blossom, use for
+	// augmentation.
+	edges := []Edge{
+		{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3},
+	}
+	mate := MaxWeightMatching(7, edges, false)
+	want := []int{-1, 6, 3, 2, 5, 4, 1}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestBlossomExpandDuringDelta4(t *testing.T) {
+	// van Rantwijk test 23: create blossom, expand it during dual phase.
+	edges := []Edge{
+		{1, 2, 8}, {1, 3, 8}, {2, 3, 10}, {2, 4, 12}, {3, 5, 12},
+		{4, 5, 14}, {4, 6, 12}, {5, 7, 12}, {6, 7, 14}, {7, 8, 12},
+	}
+	mate := MaxWeightMatching(9, edges, false)
+	want := []int{-1, 2, 1, 5, 6, 3, 4, 8, 7}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestNastyBlossomExpansion(t *testing.T) {
+	// van Rantwijk tests 24–26: blossom expansion corner cases where the
+	// augmenting path goes through different parts of the expanded blossom.
+	cases := [][]Edge{
+		{
+			{1, 2, 45}, {1, 5, 45}, {2, 3, 50}, {3, 4, 45}, {4, 5, 50},
+			{1, 6, 30}, {3, 9, 35}, {4, 8, 35}, {5, 7, 26}, {9, 10, 5},
+		},
+		{
+			{1, 2, 45}, {1, 5, 45}, {2, 3, 50}, {3, 4, 45}, {4, 5, 50},
+			{1, 6, 30}, {3, 9, 35}, {4, 8, 26}, {5, 7, 40}, {9, 10, 5},
+		},
+		{
+			{1, 2, 45}, {1, 5, 45}, {2, 3, 50}, {3, 4, 45}, {4, 5, 50},
+			{1, 6, 30}, {3, 9, 35}, {4, 8, 28}, {5, 7, 26}, {9, 10, 5},
+		},
+	}
+	wants := [][]int{
+		{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9},
+		{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9},
+		{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9},
+	}
+	for ci, edges := range cases {
+		mate := MaxWeightMatching(11, edges, false)
+		for v := range wants[ci] {
+			if mate[v] != wants[ci][v] {
+				t.Fatalf("case %d: mate = %v, want %v", ci, mate, wants[ci])
+			}
+		}
+	}
+}
+
+func TestMaxCardinality(t *testing.T) {
+	// van Rantwijk test 16: max cardinality changes the answer.
+	edges := []Edge{{1, 2, 5}, {2, 3, 11}, {3, 4, 5}}
+	mate := MaxWeightMatching(5, edges, true)
+	want := []int{-1, 2, 1, 4, 3}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("maxCardinality mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestFloatingPointWeights(t *testing.T) {
+	// van Rantwijk test 17: floating point weights.
+	edges := []Edge{
+		{1, 2, math.Pi}, {2, 3, math.Exp(1)}, {1, 3, 3.0}, {1, 4, math.Sqrt(2.0)},
+	}
+	mate := MaxWeightMatching(5, edges, false)
+	want := []int{-1, 4, 3, 2, 1}
+	for v := range want {
+		if mate[v] != want[v] {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop should panic")
+		}
+	}()
+	MaxWeightMatching(2, []Edge{{1, 1, 3}}, false)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range endpoint should panic")
+		}
+	}()
+	MaxWeightMatching(2, []Edge{{0, 5, 3}}, false)
+}
+
+func randomGraph(rng *rand.Rand, n, maxEdges int, intWeights bool) []Edge {
+	var edges []Edge
+	ne := rng.Intn(maxEdges + 1)
+	for e := 0; e < ne; e++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		var w float64
+		if intWeights {
+			w = float64(rng.Intn(100))
+		} else {
+			w = rng.Float64() * 100
+		}
+		edges = append(edges, Edge{i, j, w})
+	}
+	return edges
+}
+
+func TestRandomAgainstBruteForceIntWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(9)
+		edges := randomGraph(rng, n, 2*n, true)
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, edges, mate)
+		got := MatchingWeight(mate, edges)
+		want := BruteForceMaxWeight(n, edges, false)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: n=%d edges=%v\nmatching weight = %v, brute force = %v\nmate = %v",
+				trial, n, edges, got, want, mate)
+		}
+	}
+}
+
+func TestRandomAgainstBruteForceFloatWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		edges := randomGraph(rng, n, 2*n, false)
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, edges, mate)
+		got := MatchingWeight(mate, edges)
+		want := BruteForceMaxWeight(n, edges, false)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: n=%d edges=%v\nmatching weight = %v, brute force = %v",
+				trial, n, edges, got, want)
+		}
+	}
+}
+
+func TestRandomMaxCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		edges := randomGraph(rng, n, 2*n, true)
+		mate := MaxWeightMatching(n, edges, true)
+		checkValidMatching(t, n, edges, mate)
+		got := MatchingWeight(mate, edges)
+		want := BruteForceMaxWeight(n, edges, true)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: n=%d edges=%v\nweight = %v, want %v", trial, n, edges, got, want)
+		}
+	}
+}
+
+func TestDenseCompleteGraphs(t *testing.T) {
+	// Complete graphs with efficiency-like weights in [0,1] — the exact
+	// shape Muri's grouping produces.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, Edge{i, j, rng.Float64()})
+			}
+		}
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, edges, mate)
+		got := MatchingWeight(mate, edges)
+		want := BruteForceMaxWeight(n, edges, false)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: weight = %v, want %v", trial, got, want)
+		}
+		// All-positive weights on a complete graph: everyone pairs up.
+		if Cardinality(mate) != n/2 {
+			t.Fatalf("trial %d: cardinality = %d, want %d", trial, Cardinality(mate), n/2)
+		}
+	}
+}
+
+func TestLargeGraphSmoke(t *testing.T) {
+	// 200-vertex complete graph: validates O(n³) implementation stability.
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j, rng.Float64()})
+		}
+	}
+	mate := MaxWeightMatching(n, edges, false)
+	checkValidMatching(t, n, edges, mate)
+	if Cardinality(mate) != n/2 {
+		t.Errorf("cardinality = %d, want %d", Cardinality(mate), n/2)
+	}
+}
+
+func BenchmarkMaxWeightMatching100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j, rng.Float64()})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightMatching(n, edges, false)
+	}
+}

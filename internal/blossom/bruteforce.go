@@ -1,0 +1,67 @@
+package blossom
+
+// BruteForceMaxWeight computes the maximum total matching weight by
+// exhaustive search. It is exponential and exists only as a test oracle
+// for MaxWeightMatching on small graphs.
+func BruteForceMaxWeight(n int, edges []Edge, maxCardinality bool) float64 {
+	used := make([]bool, n)
+	bestWeight := 0.0
+	bestCard := 0
+	var rec func(k int, weight float64, card int)
+	rec = func(k int, weight float64, card int) {
+		if maxCardinality {
+			if card > bestCard || (card == bestCard && weight > bestWeight) {
+				bestCard = card
+				bestWeight = weight
+			}
+		} else if weight > bestWeight {
+			bestWeight = weight
+		}
+		for ; k < len(edges); k++ {
+			e := edges[k]
+			if used[e.I] || used[e.J] {
+				continue
+			}
+			used[e.I], used[e.J] = true, true
+			rec(k+1, weight+e.Weight, card+1)
+			used[e.I], used[e.J] = false, false
+		}
+	}
+	rec(0, 0, 0)
+	return bestWeight
+}
+
+// MatchingWeight sums the weights of the edges selected by mate. When two
+// vertices are mutually matched, the heaviest edge between them is counted
+// (parallel edges are legal input).
+func MatchingWeight(mate []int, edges []Edge) float64 {
+	best := make(map[[2]int]float64)
+	for _, e := range edges {
+		i, j := e.I, e.J
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if w, ok := best[key]; !ok || e.Weight > w {
+			best[key] = e.Weight
+		}
+	}
+	total := 0.0
+	for v, w := range mate {
+		if w > v {
+			total += best[[2]int{v, w}]
+		}
+	}
+	return total
+}
+
+// Cardinality returns the number of matched pairs in mate.
+func Cardinality(mate []int) int {
+	c := 0
+	for v, w := range mate {
+		if w > v {
+			c++
+		}
+	}
+	return c
+}

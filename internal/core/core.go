@@ -1,0 +1,534 @@
+// Package core implements the paper's primary contribution: the
+// multi-round, Blossom-based job grouping algorithm (Algorithm 1) together
+// with GPU-requirement bucketing for multi-GPU jobs (paper §4.2).
+//
+// Grouping works on a graph whose nodes are jobs (later: merged job
+// groups) and whose edge weights are interleaving efficiencies. Each round
+// finds a maximum weighted matching with the Blossom algorithm and merges
+// every matched pair into one node; log₂k rounds produce groups of up to
+// k jobs for k resource types. Multi-GPU jobs are only grouped with jobs
+// of the same GPU requirement, which avoids the cascading slowdown from
+// cross-group packing (Figure 7).
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"muri/internal/blossom"
+	"muri/internal/interleave"
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// Config controls the grouping algorithm. The zero value is not useful;
+// use DefaultConfig as a starting point.
+type Config struct {
+	// Interleave is the contention model used to score and plan groups.
+	Interleave interleave.Config
+	// MaxGroupSize caps the number of jobs per group (2–4). The paper's
+	// default is k = 4, one job per resource type; Figure 12 sweeps 2–4.
+	MaxGroupSize int
+	// UseBlossom selects the matching strategy: true runs Algorithm 1;
+	// false reproduces the "Muri-L w/o Blossom" ablation, which packs
+	// adjacent jobs in the given (priority) order.
+	UseBlossom bool
+	// WorstOrdering reproduces the "Muri-L w/ worst ordering" ablation:
+	// groups execute with the least-efficient stage ordering.
+	WorstOrdering bool
+	// MinEfficiency drops pairings whose interleaving efficiency does not
+	// exceed it. Zero keeps every positive-efficiency pairing.
+	MinEfficiency float64
+	// Gate selects the merge-benefit check (see Gate constants).
+	Gate Gate
+	// RemainingIters estimates a job's remaining iterations for GateJCT.
+	// Nil uses the job's true remaining count (known durations, Muri-S).
+	// Muri-L supplies the least-attained-service heuristic: for
+	// heavy-tailed DL duration distributions, a job's expected remaining
+	// work is proportional to what it has already attained.
+	RemainingIters func(*job.Job) int64
+}
+
+// Gate chooses how a candidate merge is judged beneficial before it can
+// enter the matching graph. The edge weight is always the interleaving
+// efficiency γ (paper §4.1); the gate prunes merges that would hurt.
+type Gate int
+
+const (
+	// GateThroughput admits a merge only when it increases aggregate
+	// throughput under saturation: k·γ(u∪v) + 1 > k·γ(u) + k·γ(v), the +1
+	// crediting the resource set a merge frees for a queued job. Used by
+	// Muri-L, where per-job durations are unknown.
+	GateThroughput Gate = iota
+	// GateJCT admits a merge only when running the combined group
+	// concurrently yields a lower summed completion time than running the
+	// two nodes sequentially on one resource set (the relevant baseline
+	// when demand exceeds capacity). It needs remaining-time estimates,
+	// so Muri-S uses it.
+	GateJCT
+	// GateNone admits every positive-efficiency merge (ablation).
+	GateNone
+)
+
+// DefaultConfig is the standard Muri configuration: 4-job groups, Blossom
+// matching, best ordering, default contention model.
+func DefaultConfig() Config {
+	return Config{
+		Interleave:   interleave.DefaultConfig,
+		MaxGroupSize: interleave.MaxGroupSize,
+		UseBlossom:   true,
+	}
+}
+
+// Group is one interleaving group: up to MaxGroupSize jobs that share one
+// set of resources, plus the execution plan derived from the scheduler's
+// (possibly noisy) view of their profiles.
+type Group struct {
+	// Jobs lists the members in plan order: Jobs[i] runs with stage
+	// offset i.
+	Jobs []*job.Job
+	// Plan is the interleaving plan computed from the members' profiles.
+	Plan interleave.Plan
+	// GPUs is the per-job GPU requirement of this group's bucket. Every
+	// member needs exactly this many GPUs and the whole group shares one
+	// allocation of that size.
+	GPUs int
+}
+
+// ExecutionIterTime returns the group's actual per-iteration duration:
+// Eq. 3 evaluated on the members' true profiles (in plan order) with the
+// contention model applied. This is what the simulator and the executor
+// advance jobs by; it differs from Plan.IterTime when profiles are noisy.
+func (g Group) ExecutionIterTime(cfg interleave.Config) time.Duration {
+	times := make([]workload.StageTimes, len(g.Jobs))
+	for i, j := range g.Jobs {
+		times[i] = j.TrueProfile
+	}
+	return interleave.IterationTime(cfg.Inflate(times))
+}
+
+// node is one vertex of the grouping graph: a set of jobs merged across
+// earlier rounds.
+type node struct {
+	jobs     []*job.Job
+	profiles []workload.StageTimes
+	gamma    float64       // cached standalone interleaving efficiency
+	iterTime time.Duration // cached standalone group iteration time
+}
+
+func (c Config) maxGroup() int {
+	if c.MaxGroupSize <= 0 {
+		return interleave.MaxGroupSize
+	}
+	if c.MaxGroupSize > interleave.MaxGroupSize {
+		return interleave.MaxGroupSize
+	}
+	return c.MaxGroupSize
+}
+
+// rounds returns ⌈log₂(maxGroup)⌉ — the number of matching rounds needed
+// so group sizes can reach maxGroup by doubling.
+func (c Config) rounds() int {
+	r := 0
+	for size := 1; size < c.maxGroup(); size *= 2 {
+		r++
+	}
+	return r
+}
+
+// Plan groups jobs (already in priority order) so the result fits the
+// cluster as well as possible: merging happens only while the summed GPU
+// demand exceeds capacityGPUs. Pass capacityGPUs ≤ 0 for the
+// unconstrained classic Algorithm 1 (merge every beneficial pair).
+// Groups are returned ordered by descending GPU requirement, priority
+// order within each bucket.
+func (c Config) Plan(jobs []*job.Job, capacityGPUs int) []Group {
+	return c.PlanWithSeeds(nil, jobs, capacityGPUs)
+}
+
+// PlanWithSeeds is Plan with sticky groups: each seed (a previously
+// formed group whose members are all still candidates) enters the
+// matching as one pre-merged node, so stable workloads keep their groups
+// across scheduling intervals instead of being rematched — and restarted
+// — from scratch. Jobs listed in seeds must not also appear in jobs.
+func (c Config) PlanWithSeeds(seeds [][]*job.Job, jobs []*job.Job, capacityGPUs int) []Group {
+	if len(jobs) == 0 && len(seeds) == 0 {
+		return nil
+	}
+	keys, jobBuckets := BucketByGPUs(jobs)
+	buckets := make(map[int][]*node, len(jobBuckets))
+	seen := make(map[int]bool)
+	for _, gpus := range keys {
+		seen[gpus] = true
+	}
+	for _, seed := range seeds {
+		if len(seed) == 0 || len(seed) > c.maxGroup() {
+			continue
+		}
+		gpus := seed[0].GPUs
+		uniform := true
+		for _, j := range seed {
+			if j.GPUs != gpus {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			continue
+		}
+		n := &node{}
+		for _, j := range seed {
+			n.jobs = append(n.jobs, j)
+			n.profiles = append(n.profiles, j.Profile)
+		}
+		buckets[gpus] = append(buckets[gpus], n)
+		if !seen[gpus] {
+			seen[gpus] = true
+			keys = append(keys, gpus)
+			sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+		}
+	}
+	for gpus, bjobs := range jobBuckets {
+		for _, j := range bjobs {
+			buckets[gpus] = append(buckets[gpus], &node{
+				jobs: []*job.Job{j}, profiles: []workload.StageTimes{j.Profile}})
+		}
+	}
+	if c.UseBlossom {
+		c.planRounds(buckets, capacityGPUs)
+	} else {
+		c.greedyRounds(buckets, capacityGPUs)
+	}
+	var out []Group
+	for _, gpus := range keys {
+		for _, n := range buckets[gpus] {
+			out = append(out, c.finalize(n, gpus))
+		}
+	}
+	return out
+}
+
+// GroupBucket runs unconstrained Algorithm 1 on jobs that all share one
+// GPU requirement. Jobs must be passed in priority order (highest
+// priority first): the order matters for the no-Blossom ablation and for
+// deterministic output. Single-member groups are returned for jobs left
+// unmatched.
+func (c Config) GroupBucket(jobs []*job.Job) []Group {
+	if len(jobs) == 0 {
+		return nil
+	}
+	gpus := jobs[0].GPUs
+	for _, j := range jobs {
+		if j.GPUs != gpus {
+			panic("core: GroupBucket requires uniform GPU requirement")
+		}
+	}
+	return c.Plan(jobs, 0)
+}
+
+// nodeStats computes (and caches) a node's standalone interleaving
+// efficiency γ and group iteration time T under its best ordering.
+func (c Config) nodeStats(n *node) (gamma float64, iterTime time.Duration) {
+	if n.iterTime == 0 {
+		_, T, eff := interleave.BestOrdering(c.Interleave.Inflate(n.profiles))
+		n.gamma, n.iterTime = eff, T
+	}
+	return n.gamma, n.iterTime
+}
+
+// completionCost returns the summed completion time of a node's members
+// when the node starts at offset `start` and runs with per-iteration time
+// iterTime, plus the node's own finish time (when its last member ends).
+func (c Config) completionCost(n *node, start, iterTime time.Duration) (sum, finish time.Duration) {
+	for _, j := range n.jobs {
+		rem := j.RemainingIterations()
+		if c.RemainingIters != nil {
+			rem = c.RemainingIters(j)
+		}
+		f := start + time.Duration(rem)*iterTime
+		sum += f
+		if f > finish {
+			finish = f
+		}
+	}
+	return sum, finish
+}
+
+// jctGain evaluates a merge under GateJCT: the reduction in summed
+// completion time of running u∪v concurrently (iteration time combined)
+// versus running u and v sequentially on one resource set in the better
+// of the two orders. Positive means the merge helps average JCT.
+func (c Config) jctGain(u, v *node) time.Duration {
+	_, tu := c.nodeStats(u)
+	_, tv := c.nodeStats(v)
+	merged := mergeNodes(u, v)
+	_, _, tm := mergedPlan(c, merged)
+	mergedSum, _ := c.completionCost(merged, 0, tm)
+	// Sequential baseline, both orders.
+	su1, fu := c.completionCost(u, 0, tu)
+	sv1, _ := c.completionCost(v, fu, tv)
+	sv2, fv := c.completionCost(v, 0, tv)
+	su2, _ := c.completionCost(u, fv, tu)
+	seq := su1 + sv1
+	if alt := su2 + sv2; alt < seq {
+		seq = alt
+	}
+	return seq - mergedSum
+}
+
+// mergedPlan returns the best-ordering efficiency and iteration time of a
+// merged node.
+func mergedPlan(c Config, n *node) (interleave.Ordering, float64, time.Duration) {
+	ord, T, eff := interleave.BestOrdering(c.Interleave.Inflate(n.profiles))
+	return ord, eff, T
+}
+
+// mergeNodes concatenates two nodes (Algorithm 1's MergeNode).
+func mergeNodes(u, v *node) *node {
+	return &node{
+		jobs:     append(append([]*job.Job{}, u.jobs...), v.jobs...),
+		profiles: append(append([]workload.StageTimes{}, u.profiles...), v.profiles...),
+	}
+}
+
+// proposal is one Blossom-matched pair a round may accept.
+type proposal struct {
+	bucket int // GPU requirement of the bucket
+	u, v   int // node indices within the bucket
+	weight float64
+	gain   float64
+}
+
+// mergeGain evaluates a candidate merge under the configured gate. It
+// returns the gate's benefit score (used to rank accepted merges) and
+// whether the merge passes.
+func (c Config) mergeGain(u, v *node, combined float64) (float64, bool) {
+	switch c.Gate {
+	case GateJCT:
+		g := c.jctGain(u, v).Seconds()
+		return g, g > 0
+	case GateNone:
+		return combined, true
+	default: // GateThroughput
+		k := float64(workload.NumResources)
+		gu, _ := c.nodeStats(u)
+		gv, _ := c.nodeStats(v)
+		g := k*combined + 1 - k*gu - k*gv
+		return g, g > 0
+	}
+}
+
+// bucketEdges builds the gain-gated grouping graph for one round in one
+// bucket: edge weights are interleaving efficiencies (paper §4.1), and
+// edges whose merge fails the configured benefit gate are dropped.
+func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
+	maxSize := c.maxGroup()
+	var edges []blossom.Edge
+	for u := 0; u < len(nodes); u++ {
+		for v := u + 1; v < len(nodes); v++ {
+			if len(nodes[u].jobs)+len(nodes[v].jobs) > maxSize {
+				continue
+			}
+			w := c.Interleave.PairEfficiency(nodes[u].profiles, nodes[v].profiles)
+			if math.IsInf(w, -1) || w <= c.MinEfficiency {
+				continue
+			}
+			if _, ok := c.mergeGain(nodes[u], nodes[v], w); !ok {
+				continue
+			}
+			edges = append(edges, blossom.Edge{I: u, J: v, Weight: w})
+		}
+	}
+	return edges
+}
+
+// planRounds runs the capacity-aware multi-round matching over all GPU
+// buckets. Each round runs Blossom inside every bucket and accepts the
+// proposed merges in descending gain order, but only while the summed GPU
+// demand of the remaining nodes exceeds capacityGPUs — this realizes
+// Algorithm 1's framing that the dequeued jobs "can be fully grouped and
+// they can fully utilize the cluster": merging beyond that point slows
+// jobs down with no queueing benefit. capacityGPUs ≤ 0 disables the
+// constraint (classic Algorithm 1: merge every beneficial pair for
+// log₂k rounds).
+func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
+	demand := 0
+	var keys []int
+	for gpus, nodes := range buckets {
+		keys = append(keys, gpus)
+		demand += gpus * len(nodes)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	unconstrained := capacityGPUs <= 0
+	maxRounds := c.rounds()
+	if !unconstrained {
+		// Partial acceptance can need extra passes before group sizes
+		// saturate; every accepted merge strictly reduces demand, so the
+		// loop terminates regardless. Bound it generously.
+		maxRounds = 64
+	}
+	for round := 0; round < maxRounds; round++ {
+		if !unconstrained && demand <= capacityGPUs {
+			break
+		}
+		var proposals []proposal
+		for _, gpus := range keys {
+			nodes := buckets[gpus]
+			if len(nodes) < 2 {
+				continue
+			}
+			edges := c.bucketEdges(nodes)
+			if len(edges) == 0 {
+				continue
+			}
+			mate := blossom.MaxWeightMatching(len(nodes), edges, false)
+			weight := make(map[[2]int]float64, len(edges))
+			for _, e := range edges {
+				weight[[2]int{e.I, e.J}] = e.Weight
+			}
+			for u, v := range mate {
+				if v > u {
+					w := weight[[2]int{u, v}]
+					gain, _ := c.mergeGain(nodes[u], nodes[v], w)
+					proposals = append(proposals, proposal{
+						bucket: gpus, u: u, v: v, weight: w, gain: gain,
+					})
+				}
+			}
+		}
+		if len(proposals) == 0 {
+			break
+		}
+		// Accept the most beneficial merges first; each accepted merge
+		// frees one resource set of the bucket's size.
+		sort.SliceStable(proposals, func(i, k int) bool {
+			if proposals[i].gain != proposals[k].gain {
+				return proposals[i].gain > proposals[k].gain
+			}
+			return proposals[i].bucket > proposals[k].bucket
+		})
+		accepted := 0
+		merged := make(map[int]map[int]*node) // bucket → index of u → merged node
+		dropped := make(map[int]map[int]bool) // bucket → indices consumed
+		for _, p := range proposals {
+			if !unconstrained && demand <= capacityGPUs {
+				break
+			}
+			if merged[p.bucket] == nil {
+				merged[p.bucket] = make(map[int]*node)
+				dropped[p.bucket] = make(map[int]bool)
+			}
+			nodes := buckets[p.bucket]
+			merged[p.bucket][p.u] = mergeNodes(nodes[p.u], nodes[p.v])
+			dropped[p.bucket][p.v] = true
+			demand -= p.bucket
+			accepted++
+		}
+		if accepted == 0 {
+			break
+		}
+		for gpus, reps := range merged {
+			nodes := buckets[gpus]
+			out := make([]*node, 0, len(nodes))
+			for i, n := range nodes {
+				if dropped[gpus][i] {
+					continue
+				}
+				if rep, ok := reps[i]; ok {
+					out = append(out, rep)
+				} else {
+					out = append(out, n)
+				}
+			}
+			buckets[gpus] = out
+		}
+	}
+}
+
+// greedyRounds is the no-Blossom ablation ("Muri-L w/o Blossom", Figure
+// 11): merges adjacent nodes in priority order instead of matching, with
+// the same capacity-aware acceptance.
+func (c Config) greedyRounds(buckets map[int][]*node, capacityGPUs int) {
+	demand := 0
+	var keys []int
+	for gpus, nodes := range buckets {
+		keys = append(keys, gpus)
+		demand += gpus * len(nodes)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	unconstrained := capacityGPUs <= 0
+	maxSize := c.maxGroup()
+	maxRounds := c.rounds()
+	if !unconstrained {
+		maxRounds = 64
+	}
+	for round := 0; round < maxRounds; round++ {
+		if !unconstrained && demand <= capacityGPUs {
+			break
+		}
+		accepted := 0
+		for _, gpus := range keys {
+			nodes := buckets[gpus]
+			var out []*node
+			i := 0
+			for i < len(nodes) {
+				canMerge := i+1 < len(nodes) &&
+					len(nodes[i].jobs)+len(nodes[i+1].jobs) <= maxSize &&
+					(unconstrained || demand > capacityGPUs)
+				if canMerge {
+					out = append(out, mergeNodes(nodes[i], nodes[i+1]))
+					demand -= gpus
+					accepted++
+					i += 2
+				} else {
+					out = append(out, nodes[i])
+					i++
+				}
+			}
+			buckets[gpus] = out
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+}
+
+// finalize computes the execution plan for a finished node and reorders
+// its members into plan order.
+func (c Config) finalize(n *node, gpus int) Group {
+	plan := c.Interleave.PlanGroup(n.profiles, c.WorstOrdering)
+	ordered := make([]*job.Job, len(n.jobs))
+	for pos, idx := range plan.Order {
+		ordered[pos] = n.jobs[idx]
+	}
+	// After reordering, the plan's permutation has been applied; rewrite
+	// it as the identity so Group.Jobs[i] always has offset i.
+	for i := range plan.Order {
+		plan.Order[i] = i
+	}
+	return Group{Jobs: ordered, Plan: plan, GPUs: gpus}
+}
+
+// BucketByGPUs partitions jobs by GPU requirement, preserving the input
+// order within each bucket. The returned keys are sorted descending so
+// that placement can allocate large jobs first (§5: "allocates GPUs in a
+// descending order ... which avoids fragmentation").
+func BucketByGPUs(jobs []*job.Job) (keys []int, buckets map[int][]*job.Job) {
+	buckets = make(map[int][]*job.Job)
+	for _, j := range jobs {
+		buckets[j.GPUs] = append(buckets[j.GPUs], j)
+	}
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	return keys, buckets
+}
+
+// GroupAll buckets jobs by GPU requirement and runs unconstrained
+// Algorithm 1 inside each bucket, returning groups ordered by descending
+// GPU requirement. Jobs must already be in priority order.
+func (c Config) GroupAll(jobs []*job.Job) []Group {
+	return c.Plan(jobs, 0)
+}

@@ -1,0 +1,263 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"muri/internal/proto"
+)
+
+// Agent is the per-machine executor daemon: it registers with the
+// scheduler, launches and kills interleaving groups on command, reports
+// progress, and answers profiling requests.
+type Agent struct {
+	// MachineID identifies this machine to the worker monitor.
+	MachineID string
+	// GPUs is the machine's GPU inventory.
+	GPUs int
+	// Fault optionally injects job failures (tests, chaos experiments).
+	Fault FaultFunc
+	// Logf receives diagnostic output; nil uses log.Printf.
+	Logf func(format string, args ...any)
+	// HeartbeatEvery is the liveness-signal period; zero means one
+	// second. The scheduler evicts executors silent for several periods.
+	HeartbeatEvery time.Duration
+
+	mu     sync.Mutex
+	groups map[int64]*runningGroup
+	conn   net.Conn
+	codec  *proto.Codec
+	wmu    sync.Mutex // serializes codec writes
+}
+
+type runningGroup struct {
+	run    *GroupRun
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Run connects to the scheduler at addr and serves until the connection
+// closes or ctx is cancelled.
+func (a *Agent) Run(ctx context.Context, addr string) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("executor: dial scheduler: %w", err)
+	}
+	defer conn.Close()
+	return a.Serve(ctx, conn)
+}
+
+// RunWithRetry keeps the executor connected across scheduler restarts:
+// it dials, serves, and on disconnect retries with exponential backoff
+// (capped at maxBackoff) until ctx is cancelled. Progress of running
+// groups is lost on disconnect — the scheduler requeues those jobs from
+// their last reported iteration, exactly as with any executor fault.
+func (a *Agent) RunWithRetry(ctx context.Context, addr string, maxBackoff time.Duration) error {
+	if maxBackoff <= 0 {
+		maxBackoff = 30 * time.Second
+	}
+	backoff := 250 * time.Millisecond
+	for {
+		err := a.Run(ctx, addr)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			a.logf("executor %s: connection lost (%v); retrying in %v", a.MachineID, err, backoff)
+		} else {
+			a.logf("executor %s: scheduler closed the connection; retrying in %v", a.MachineID, backoff)
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// Serve runs the executor protocol over an established connection
+// (exposed separately so tests can use net.Pipe).
+func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
+	a.mu.Lock()
+	a.conn = conn
+	a.codec = proto.NewCodec(conn)
+	a.groups = make(map[int64]*runningGroup)
+	a.mu.Unlock()
+	defer a.killAll()
+
+	if err := a.send(&proto.Message{
+		Type:     proto.TypeRegister,
+		Register: &proto.Register{MachineID: a.MachineID, GPUs: a.GPUs},
+	}); err != nil {
+		return err
+	}
+	// Close the connection when ctx ends so the read loop unblocks.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+	// Liveness: heartbeat even when no group is running, so the worker
+	// monitor can tell an idle machine from a dead one.
+	hbEvery := a.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	go func() {
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-watchDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				a.mu.Lock()
+				n := len(a.groups)
+				a.mu.Unlock()
+				if err := a.send(&proto.Message{Type: proto.TypeHeartbeat,
+					Heartbeat: &proto.Heartbeat{MachineID: a.MachineID, RunningGroups: n}}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	for {
+		m, err := a.codec.Read()
+		if err != nil {
+			if ctx.Err() != nil || err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("executor: read: %w", err)
+		}
+		switch m.Type {
+		case proto.TypeRegisterAck:
+			if !m.RegisterAck.OK {
+				return fmt.Errorf("executor: registration rejected: %s", m.RegisterAck.Reason)
+			}
+		case proto.TypeLaunch:
+			a.handleLaunch(ctx, m.Launch)
+		case proto.TypeKill:
+			a.handleKill(m.Kill.GroupID)
+		case proto.TypeProfileReq:
+			go a.handleProfile(ctx, m.ProfileReq)
+		default:
+			a.logf("executor %s: unexpected message %s", a.MachineID, m.Type)
+		}
+	}
+}
+
+func (a *Agent) send(m *proto.Message) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.codec.Write(m)
+}
+
+func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
+	a.mu.Lock()
+	if _, exists := a.groups[l.GroupID]; exists {
+		a.mu.Unlock()
+		a.logf("executor %s: duplicate launch of group %d ignored", a.MachineID, l.GroupID)
+		return
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	events := GroupEvents{
+		JobDone: func(jobID int64) {
+			_ = a.send(&proto.Message{Type: proto.TypeJobDone,
+				JobDone: &proto.JobDone{GroupID: l.GroupID, JobID: jobID}})
+		},
+		Fault: func(jobID int64, err error) {
+			_ = a.send(&proto.Message{Type: proto.TypeFault,
+				Fault: &proto.Fault{GroupID: l.GroupID, JobID: jobID, Error: err.Error()}})
+		},
+	}
+	run := NewGroupRun(l.Jobs, l.TimeScale, events, a.Fault)
+	rg := &runningGroup{run: run, cancel: cancel, done: make(chan struct{})}
+	a.groups[l.GroupID] = rg
+	a.mu.Unlock()
+
+	reportEvery := l.ReportEvery
+	if reportEvery <= 0 {
+		reportEvery = time.Second
+	}
+	go func() {
+		t := time.NewTicker(reportEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-rg.done:
+				return
+			case <-t.C:
+				_ = a.send(&proto.Message{Type: proto.TypeProgress,
+					Progress: &proto.Progress{GroupID: l.GroupID, Jobs: run.Progress()}})
+			}
+		}
+	}()
+	go func() {
+		defer close(rg.done)
+		_ = run.Run(gctx)
+		// Final progress snapshot so the scheduler sees exact counts.
+		_ = a.send(&proto.Message{Type: proto.TypeProgress,
+			Progress: &proto.Progress{GroupID: l.GroupID, Jobs: run.Progress()}})
+		a.mu.Lock()
+		delete(a.groups, l.GroupID)
+		a.mu.Unlock()
+	}()
+}
+
+func (a *Agent) handleKill(groupID int64) {
+	a.mu.Lock()
+	rg, ok := a.groups[groupID]
+	a.mu.Unlock()
+	if !ok {
+		return
+	}
+	rg.cancel()
+	<-rg.done
+}
+
+func (a *Agent) handleProfile(ctx context.Context, req *proto.ProfileReq) {
+	res, err := ProfileModel(ctx, req.Model, req.Iterations, req.TimeScale)
+	if err != nil && res.Err == "" {
+		res.Err = err.Error()
+	}
+	_ = a.send(&proto.Message{Type: proto.TypeProfiled, Profiled: &res})
+}
+
+func (a *Agent) killAll() {
+	a.mu.Lock()
+	groups := make([]*runningGroup, 0, len(a.groups))
+	for _, rg := range a.groups {
+		groups = append(groups, rg)
+	}
+	a.mu.Unlock()
+	for _, rg := range groups {
+		rg.cancel()
+		<-rg.done
+	}
+}

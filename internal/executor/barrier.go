@@ -1,0 +1,91 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBarrierClosed is returned by Await after the barrier is closed
+// (group cancelled).
+var ErrBarrierClosed = errors.New("executor: barrier closed")
+
+// barrier is a reusable cyclic barrier whose party count can shrink as
+// group members finish. It realizes the paper's per-stage-slot
+// synchronization: "we add a synchronization barrier after the
+// overlapped stages of different jobs" (§4.1).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+	closed  bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until every remaining party has arrived (one stage slot
+// boundary), then releases the whole generation.
+func (b *barrier) Await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBarrierClosed
+	}
+	b.arrived++
+	if b.arrived >= b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	gen := b.gen
+	for gen == b.gen && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return ErrBarrierClosed
+	}
+	return nil
+}
+
+// Leave removes one party (its job finished). If the remaining parties
+// have all already arrived, the generation is released.
+func (b *barrier) Leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.parties > 0 && b.arrived >= b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}
+
+// Close releases every waiter with ErrBarrierClosed; subsequent Awaits
+// fail immediately.
+func (b *barrier) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// watchContext closes the barrier when ctx is cancelled; the returned
+// stop function releases the watcher.
+func (b *barrier) watchContext(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			b.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,206 @@
+// Package executor implements the Muri executor (paper Figure 3, §5):
+// it runs interleaving groups with per-stage synchronization barriers,
+// reports progress and faults to the scheduler, and answers dry-run
+// profiling requests. Stage execution is simulated by sleeping the
+// (time-scaled) stage duration, which preserves the exact concurrency
+// structure of the prototype without GPUs.
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muri/internal/proto"
+	"muri/internal/workload"
+)
+
+// FaultFunc lets tests and examples inject failures: it is consulted
+// before every iteration and returns a non-nil error to fail the job.
+type FaultFunc func(jobID int64, iteration int64) error
+
+// GroupEvents receives runner callbacks. Callbacks run on runner
+// goroutines and must not block for long.
+type GroupEvents struct {
+	// JobDone fires when a member completes all iterations.
+	JobDone func(jobID int64)
+	// Fault fires when a member fails; the member stops, others continue.
+	Fault func(jobID int64, err error)
+}
+
+// GroupRun executes one interleaving group: each member runs with a
+// distinct stage offset and a barrier separates consecutive stage slots,
+// so at any instant each resource type is used by at most one member
+// (paper §4.1). The zero value is not usable; construct with NewGroupRun.
+type GroupRun struct {
+	jobs   []proto.JobSpec
+	scale  float64
+	events GroupEvents
+	fault  FaultFunc
+
+	done   []atomic.Int64 // per-member completed iterations
+	iterNS []atomic.Int64 // per-member observed avg iteration nanos
+}
+
+// NewGroupRun prepares a group execution. Jobs must be in stage-offset
+// order (Jobs[i] starts at offset i). timeScale compresses virtual stage
+// durations into wall-clock sleeps; it must be positive.
+func NewGroupRun(jobs []proto.JobSpec, timeScale float64, events GroupEvents, fault FaultFunc) *GroupRun {
+	if len(jobs) == 0 {
+		panic("executor: empty group")
+	}
+	if len(jobs) > workload.NumResources {
+		panic(fmt.Sprintf("executor: group of %d exceeds %d members", len(jobs), workload.NumResources))
+	}
+	if timeScale <= 0 {
+		panic("executor: non-positive time scale")
+	}
+	g := &GroupRun{
+		jobs:   jobs,
+		scale:  timeScale,
+		events: events,
+		fault:  fault,
+		done:   make([]atomic.Int64, len(jobs)),
+		iterNS: make([]atomic.Int64, len(jobs)),
+	}
+	for i, j := range jobs {
+		g.done[i].Store(j.DoneIterations)
+	}
+	return g
+}
+
+// Progress returns a snapshot of every member's progress.
+func (g *GroupRun) Progress() []proto.JobProgress {
+	out := make([]proto.JobProgress, len(g.jobs))
+	for i, j := range g.jobs {
+		out[i] = proto.JobProgress{
+			ID:             j.ID,
+			DoneIterations: g.done[i].Load(),
+			AvgIterTime:    time.Duration(g.iterNS[i].Load()),
+		}
+	}
+	return out
+}
+
+// sleep waits for the scaled duration or until ctx is cancelled.
+func (g *GroupRun) sleep(ctx context.Context, d time.Duration) error {
+	scaled := time.Duration(float64(d) * g.scale)
+	if scaled <= 0 {
+		// Still yield so zero-length stages cannot starve the scheduler.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(scaled)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Run executes the group until all members finish or ctx is cancelled.
+// It returns ctx.Err() on cancellation and nil on completion.
+func (g *GroupRun) Run(ctx context.Context) error {
+	bar := newBarrier(len(g.jobs))
+	stop := bar.watchContext(ctx)
+	defer stop()
+	var wg sync.WaitGroup
+	for i := range g.jobs {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			g.runMember(ctx, bar, offset)
+		}(i)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// runMember executes one member's iterations. The member at `offset`
+// executes stage (offset+slot) mod k in stage slot `slot`; a barrier
+// separates consecutive slots so members never use a resource
+// concurrently.
+func (g *GroupRun) runMember(ctx context.Context, bar *barrier, offset int) {
+	k := workload.NumResources
+	spec := g.jobs[offset]
+	iterStart := time.Now()
+	for g.done[offset].Load() < spec.Iterations {
+		if g.fault != nil {
+			if err := g.fault(spec.ID, g.done[offset].Load()); err != nil {
+				bar.Leave()
+				if g.events.Fault != nil {
+					g.events.Fault(spec.ID, err)
+				}
+				return
+			}
+		}
+		for slot := 0; slot < k; slot++ {
+			stage := (offset + slot) % k
+			if err := g.sleep(ctx, spec.Stages[stage]); err != nil {
+				bar.Leave()
+				return
+			}
+			if err := bar.Await(); err != nil {
+				return
+			}
+		}
+		g.done[offset].Add(1)
+		elapsed := time.Since(iterStart)
+		iters := g.done[offset].Load() - spec.DoneIterations
+		if iters > 0 {
+			// Report virtual time: wall time divided by the time scale.
+			g.iterNS[offset].Store(int64(float64(elapsed.Nanoseconds()) / float64(iters) / g.scale))
+		}
+	}
+	bar.Leave()
+	if g.events.JobDone != nil {
+		g.events.JobDone(spec.ID)
+	}
+}
+
+// ProfileModel dry-runs a model alone for the given iterations and
+// returns the measured per-stage durations in virtual time. This is the
+// executor side of the resource profiler (paper §3/§5).
+func ProfileModel(ctx context.Context, model string, iterations int, timeScale float64) (proto.Profiled, error) {
+	m, err := workload.ByName(model)
+	if err != nil {
+		return proto.Profiled{Model: model, Err: err.Error()}, err
+	}
+	if iterations <= 0 {
+		iterations = 5
+	}
+	var measured [workload.NumResources]time.Duration
+	for it := 0; it < iterations; it++ {
+		for r := 0; r < workload.NumResources; r++ {
+			start := time.Now()
+			scaled := time.Duration(float64(m.Stages[r]) * timeScale)
+			if scaled > 0 {
+				t := time.NewTimer(scaled)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return proto.Profiled{Model: model, Err: ctx.Err().Error()}, ctx.Err()
+				case <-t.C:
+				}
+			}
+			measured[r] += time.Duration(float64(time.Since(start)) / timeScale)
+		}
+	}
+	var out proto.Profiled
+	out.Model = model
+	for r := 0; r < workload.NumResources; r++ {
+		out.Stages[r] = measured[r] / time.Duration(iterations)
+	}
+	return out, nil
+}

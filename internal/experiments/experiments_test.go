@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"muri/internal/trace"
+)
+
+// tiny returns very small options so every experiment runs in a few
+// hundred milliseconds.
+func tiny() Options {
+	cfgs := trace.PhillyConfigs(16)
+	var traces []trace.Trace
+	for i := range cfgs {
+		cfgs[i].Jobs = 120
+		traces = append(traces, trace.Generate(cfgs[i]))
+	}
+	return Options{Machines: 2, GPUsPerMachine: 8, MaxJobs: 100, Traces: traces}
+}
+
+func TestTable1MatchesPaperBottlenecks(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(tbl.Rows))
+	}
+	want := map[string]string{
+		"shufflenet": "storage", "vgg19": "network", "gpt2": "gpu", "a2c": "cpu",
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != want[row[0]] {
+			t.Errorf("%s bottleneck = %s, want %s", row[0], row[5], want[row[0]])
+		}
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	res := Table2()
+	// The paper measures a total normalized throughput of 2.00; the
+	// simulated substrate should land in the same region.
+	if res.Total < 1.5 || res.Total > 3.0 {
+		t.Errorf("total normalized throughput = %.2f, want ≈2 (Table 2)", res.Total)
+	}
+	for i, v := range res.Normalized {
+		if v <= 0 || v > 1.01 {
+			t.Errorf("normalized[%d] = %v, want in (0, 1]", i, v)
+		}
+	}
+	if !strings.Contains(res.Table.String(), "total") {
+		t.Error("Table 2 output missing total row")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	results, tbl := tiny().Table4()
+	if len(results) != 3 {
+		t.Fatalf("Table 4 ran %d policies, want 3", len(results))
+	}
+	byName := summaryByName(results)
+	// Muri-S should not lose to SRTF on the saturated testbed window.
+	if byName["muri-s"].AvgJCT > byName["srtf"].AvgJCT {
+		t.Errorf("Muri-S avg JCT %v worse than SRTF %v on testbed window",
+			byName["muri-s"].AvgJCT, byName["srtf"].AvgJCT)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("table rows = %d, want 3", len(tbl.Rows))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	results, _ := tiny().Table5()
+	byName := summaryByName(results)
+	if byName["muri-l"].AvgJCT > byName["themis"].AvgJCT {
+		t.Errorf("Muri-L avg JCT %v worse than Themis %v on testbed window",
+			byName["muri-l"].AvgJCT, byName["themis"].AvgJCT)
+	}
+}
+
+func TestFigure8SeriesPresent(t *testing.T) {
+	results, tbl := tiny().Figure8()
+	for _, r := range results {
+		if len(r.Series) == 0 {
+			t.Errorf("%s has empty series", r.Policy)
+		}
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("Figure 8 rows = %d, want 6 policies", len(tbl.Rows))
+	}
+}
+
+func TestFigure13SpeedupGrowsWithJobTypes(t *testing.T) {
+	opt := tiny()
+	opt.MaxJobs = 120
+	results, _ := opt.Figure13()
+	if len(results) != 4 {
+		t.Fatalf("Figure 13 has %d points, want 4", len(results))
+	}
+	// The four-type mix should beat the one-type mix for Muri-S (the
+	// paper's headline sensitivity result).
+	if results[3].SpeedupKnown <= results[0].SpeedupKnown {
+		t.Errorf("speedup(4 types)=%.2f not greater than speedup(1 type)=%.2f",
+			results[3].SpeedupKnown, results[0].SpeedupKnown)
+	}
+	// With one job type Muri must roughly match the baseline, never be
+	// dramatically worse.
+	if results[0].SpeedupKnown < 0.8 {
+		t.Errorf("speedup with 1 job type = %.2f, want ≥ 0.8 (Muri ≈ SRTF)", results[0].SpeedupKnown)
+	}
+}
+
+func TestFigure14NoiseFreeIsUnity(t *testing.T) {
+	opt := tiny()
+	opt.MaxJobs = 120
+	results, _ := opt.Figure14()
+	if results[0].Noise != 0 || results[0].NormJCT != 1 || results[0].NormMakespan != 1 {
+		t.Errorf("noise-free row = %+v, want exactly 1.0", results[0])
+	}
+	// High noise must not break the run (values stay finite and positive).
+	for _, r := range results {
+		if r.NormJCT <= 0 || r.NormJCT > 5 {
+			t.Errorf("noise %v: norm JCT %v out of plausible range", r.Noise, r.NormJCT)
+		}
+	}
+}
+
+func TestTableStringAligned(t *testing.T) {
+	tbl := Table{
+		Title:  "t",
+		Header: []string{"a", "longheader"},
+		Rows:   [][]string{{"xxxxxx", "y"}},
+	}
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "a     ") {
+		t.Errorf("header not padded: %q", lines[1])
+	}
+}
+
+func TestQuickAndFullOptions(t *testing.T) {
+	if Full().capacity() != 64 {
+		t.Errorf("Full capacity = %d, want 64", Full().capacity())
+	}
+	if Quick().MaxJobs != 300 {
+		t.Errorf("Quick MaxJobs = %d, want 300", Quick().MaxJobs)
+	}
+	cfg := Quick().simConfig()
+	if cfg.Interval != 6*time.Minute {
+		t.Errorf("interval = %v, want 6m", cfg.Interval)
+	}
+}
+
+func summaryByName(results []PolicyResult) map[string]summaryLike {
+	out := make(map[string]summaryLike)
+	for _, r := range results {
+		out[r.Policy] = summaryLike{AvgJCT: r.Summary.AvgJCT, Makespan: r.Summary.Makespan}
+	}
+	return out
+}
+
+type summaryLike struct {
+	AvgJCT   time.Duration
+	Makespan time.Duration
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	results, _ := tiny().Figure8()
+	var buf strings.Builder
+	if err := WriteSeriesCSV(&buf, results[0]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want header + samples", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,queue_len,blocking_index") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 8 {
+		t.Errorf("data row has %d commas, want 8", got)
+	}
+}

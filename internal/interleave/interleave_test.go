@@ -1,0 +1,284 @@
+package interleave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"muri/internal/workload"
+)
+
+// unit is the base time unit used in the paper's toy figures.
+const unit = time.Second
+
+// figure4Jobs returns jobs A–D of Figure 4, a k=2 example (CPU, GPU).
+// A: 2 CPU + 1 GPU; B: 1 CPU + 2 GPU; C: 2 CPU + 1 GPU; D: 1 CPU + 2 GPU.
+func figure4Jobs() map[string][]time.Duration {
+	return map[string][]time.Duration{
+		"A": {2 * unit, 1 * unit},
+		"B": {1 * unit, 2 * unit},
+		"C": {2 * unit, 1 * unit},
+		"D": {1 * unit, 2 * unit},
+	}
+}
+
+// bestK returns the best efficiency and its iteration time over both
+// orderings of a k-dimensional pair.
+func bestK(a, b []time.Duration) (time.Duration, float64) {
+	e1 := EfficiencyK([][]time.Duration{a, b})
+	e2 := EfficiencyK([][]time.Duration{b, a})
+	if e1 >= e2 {
+		return IterationTimeK([][]time.Duration{a, b}), e1
+	}
+	return IterationTimeK([][]time.Duration{b, a}), e2
+}
+
+func TestIterationTimeSingleJobIsSerial(t *testing.T) {
+	s := workload.StageTimes{1 * unit, 2 * unit, 3 * unit, 4 * unit}
+	if got := IterationTime([]workload.StageTimes{s}); got != s.Total() {
+		t.Errorf("IterationTime(single) = %v, want %v", got, s.Total())
+	}
+}
+
+func TestFigure4PerfectPair(t *testing.T) {
+	jobs := figure4Jobs()
+	// Grouping A with B should perfectly overlap: γ = 1 (paper §4.1).
+	// The CPU stage of A (2u) overlaps the GPU stage of B (2u), etc.
+	T, eff := bestK(jobs["A"], jobs["B"])
+	if math.Abs(eff-1.0) > 1e-9 {
+		t.Errorf("efficiency(A,B) = %v, want 1.0", eff)
+	}
+	if T != 3*unit {
+		t.Errorf("T(A,B) = %v, want 3s", T)
+	}
+}
+
+func TestFigure4ImperfectPair(t *testing.T) {
+	jobs := figure4Jobs()
+	// Grouping A with C: CPU fully used, GPU idle half the time → γ = 0.75.
+	T, eff := bestK(jobs["A"], jobs["C"])
+	if math.Abs(eff-0.75) > 1e-9 {
+		t.Errorf("efficiency(A,C) = %v, want 0.75 (paper §4.1)", eff)
+	}
+	if T != 4*unit {
+		t.Errorf("T(A,C) = %v, want 4s", T)
+	}
+}
+
+func TestFigure6OrderingMatters(t *testing.T) {
+	// Figure 6: job A spends 2 units on CPU and 1 on each other type;
+	// job B spends 2 on GPU and 1 on each other type. The best ordering
+	// overlaps them perfectly; a worse ordering adds idle time.
+	a := workload.StageTimes{1 * unit, 2 * unit, 1 * unit, 1 * unit}
+	b := workload.StageTimes{1 * unit, 1 * unit, 2 * unit, 1 * unit}
+	times := []workload.StageTimes{a, b}
+	_, bestT, bestEff := BestOrdering(times)
+	_, worstT, worstEff := WorstOrdering(times)
+	if bestEff <= worstEff {
+		t.Errorf("best eff %v should exceed worst eff %v", bestEff, worstEff)
+	}
+	if bestT >= worstT {
+		t.Errorf("best T %v should be shorter than worst T %v", bestT, worstT)
+	}
+	// Perfect overlap: T = 5 units (sum of slot maxima when offset by one),
+	// every resource busy 5 of 5 units for A+B combined usage (5+5)/2... the
+	// best ordering overlaps A's CPU-heavy phase against B's GPU-heavy one.
+	if bestT != 5*unit {
+		t.Errorf("best T = %v, want 5s (Figure 6a)", bestT)
+	}
+	if worstT != 6*unit {
+		t.Errorf("worst T = %v, want 6s (Figure 6b)", worstT)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	// γ must always lie in [0, 1] for any group of ≤ 4 jobs with distinct
+	// offsets, because each resource's total use cannot exceed T.
+	f := func(raw [4][4]uint16, n uint8) bool {
+		p := int(n%4) + 1
+		times := make([]workload.StageTimes, p)
+		for i := 0; i < p; i++ {
+			for j := 0; j < workload.NumResources; j++ {
+				times[i][j] = time.Duration(raw[i][j]) * time.Millisecond
+			}
+		}
+		eff := Efficiency(times)
+		T := IterationTime(times)
+		if T == 0 {
+			return eff == 0
+		}
+		return eff >= -1e-9 && eff <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterationTimeLowerBound(t *testing.T) {
+	// T must be at least the serial time of the longest member and at most
+	// the sum of all members' serial times.
+	f := func(raw [3][4]uint16) bool {
+		times := make([]workload.StageTimes, 3)
+		var longest, sum time.Duration
+		for i := range times {
+			for j := 0; j < workload.NumResources; j++ {
+				times[i][j] = time.Duration(raw[i][j]) * time.Millisecond
+			}
+			tot := times[i].Total()
+			sum += tot
+			if tot > longest {
+				longest = tot
+			}
+		}
+		T := IterationTime(times)
+		return T >= longest && T <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestOrderingAtLeastIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := 2 + rng.Intn(3)
+		times := make([]workload.StageTimes, p)
+		for i := range times {
+			for j := 0; j < workload.NumResources; j++ {
+				times[i][j] = time.Duration(rng.Intn(100)) * time.Millisecond
+			}
+		}
+		_, _, best := BestOrdering(times)
+		identity := Efficiency(times)
+		if best+1e-12 < identity {
+			t.Fatalf("best ordering eff %v < identity ordering eff %v", best, identity)
+		}
+		_, _, worst := WorstOrdering(times)
+		if worst-1e-12 > identity {
+			t.Fatalf("worst ordering eff %v > identity ordering eff %v", worst, identity)
+		}
+	}
+}
+
+func TestOrderingApply(t *testing.T) {
+	a := workload.StageTimes{1, 0, 0, 0}
+	b := workload.StageTimes{2, 0, 0, 0}
+	c := workload.StageTimes{3, 0, 0, 0}
+	o := Ordering{2, 0, 1}
+	got := o.Apply([]workload.StageTimes{a, b, c})
+	if got[0] != c || got[1] != a || got[2] != b {
+		t.Errorf("Apply = %v, want [c a b]", got)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	cfg := Config{Overhead: 0.1}
+	s := workload.StageTimes{10 * unit, 0, 0, 0}
+	// Single job: no inflation.
+	out := cfg.Inflate([]workload.StageTimes{s})
+	if out[0] != s {
+		t.Errorf("single-member inflation = %v, want unchanged", out[0])
+	}
+	// Three jobs: 1 + 0.1*2 = 1.2×.
+	out = cfg.Inflate([]workload.StageTimes{s, s, s})
+	if out[0][0] != 12*unit {
+		t.Errorf("3-member inflation = %v, want 12s", out[0][0])
+	}
+	// Zero overhead returns input unchanged.
+	same := Config{}.Inflate([]workload.StageTimes{s, s})
+	if same[0] != s {
+		t.Errorf("zero-overhead inflation changed times: %v", same[0])
+	}
+}
+
+func TestPlanGroupWorstVsBest(t *testing.T) {
+	a := workload.StageTimes{1 * unit, 2 * unit, 1 * unit, 1 * unit}
+	b := workload.StageTimes{1 * unit, 1 * unit, 2 * unit, 1 * unit}
+	cfg := Config{} // ideal, no contention
+	best := cfg.PlanGroup([]workload.StageTimes{a, b}, false)
+	worst := cfg.PlanGroup([]workload.StageTimes{a, b}, true)
+	if best.IterTime >= worst.IterTime {
+		t.Errorf("best plan %v not faster than worst plan %v", best.IterTime, worst.IterTime)
+	}
+	if len(best.Order) != 2 {
+		t.Errorf("plan order has %d entries, want 2", len(best.Order))
+	}
+}
+
+func TestPlanGroupEmptyAndOversized(t *testing.T) {
+	var cfg Config
+	if p := cfg.PlanGroup(nil, false); p.IterTime != 0 || p.Order != nil {
+		t.Errorf("empty plan = %+v, want zero", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanGroup with 5 members should panic")
+		}
+	}()
+	s := workload.StageTimes{unit, unit, unit, unit}
+	cfg.PlanGroup([]workload.StageTimes{s, s, s, s, s}, false)
+}
+
+func TestPairEfficiencyOversizedIsNegInf(t *testing.T) {
+	var cfg Config
+	s := workload.StageTimes{unit, 0, 0, 0}
+	three := []workload.StageTimes{s, s, s}
+	two := []workload.StageTimes{s, s}
+	if eff := cfg.PairEfficiency(three, two); !math.IsInf(eff, -1) {
+		t.Errorf("PairEfficiency(3+2 members) = %v, want -Inf", eff)
+	}
+}
+
+func TestTable2ShapeFourJobInterleaving(t *testing.T) {
+	// Table 2: interleaving ShuffleNet (storage), A2C (CPU), GPT-2 (GPU)
+	// and VGG16 (network) yields total normalized throughput around 2×,
+	// well short of the ideal 4× but clearly above 1×.
+	var times []workload.StageTimes
+	for _, name := range []string{"shufflenet", "a2c", "gpt2", "vgg16"} {
+		m, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, m.Stages)
+	}
+	speedup := DefaultConfig.SpeedupOverSerial(times)
+	if speedup < 1.5 || speedup > 3.5 {
+		t.Errorf("4-job total normalized throughput = %.2f, want ~2 (Table 2 shape)", speedup)
+	}
+	norm := DefaultConfig.NormalizedThroughput(times)
+	for i, v := range norm {
+		if v <= 0 || v > 1.01 {
+			t.Errorf("normalized throughput[%d] = %v, want in (0, 1]", i, v)
+		}
+	}
+}
+
+func TestNormalizedThroughputZeroGroup(t *testing.T) {
+	var cfg Config
+	out := cfg.NormalizedThroughput([]workload.StageTimes{{}, {}})
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("normalized throughput[%d] = %v for zero profiles, want 0", i, v)
+		}
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24} {
+		count := 0
+		permutations(n, func([]int) bool { count++; return true })
+		if count != want {
+			t.Errorf("permutations(%d) visited %d, want %d", n, count, want)
+		}
+	}
+}
+
+func TestPermutationsEarlyStop(t *testing.T) {
+	count := 0
+	permutations(4, func([]int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"muri/internal/job"
+)
+
+// CDF is an empirical cumulative distribution over durations, as used in
+// scheduler papers to plot JCT distributions.
+type CDF struct {
+	sorted []time.Duration
+}
+
+// NewCDF builds a CDF from (unsorted) samples.
+func NewCDF(samples []time.Duration) CDF {
+	s := append([]time.Duration{}, samples...)
+	sort.Slice(s, func(i, k int) bool { return s[i] < s[k] })
+	return CDF{sorted: s}
+}
+
+// JCTCDF builds the JCT distribution of completed jobs.
+func JCTCDF(jobs []*job.Job) CDF {
+	samples := make([]time.Duration, 0, len(jobs))
+	for _, j := range jobs {
+		samples = append(samples, j.JCT())
+	}
+	return NewCDF(samples)
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ d): the fraction of samples at or below d.
+func (c CDF) At(d time.Duration) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > d })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile (0 < p ≤ 1) by nearest rank.
+func (c CDF) Quantile(p float64) time.Duration {
+	return Percentile(c.sorted, p)
+}
+
+// Points samples the CDF at n evenly spaced quantiles, suitable for
+// plotting. It returns (duration, cumulative fraction) pairs.
+func (c CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		p := float64(i) / float64(n)
+		out = append(out, [2]float64{c.Quantile(p).Seconds(), p})
+	}
+	return out
+}
+
+// String renders a compact textual summary (p50/p90/p99/max).
+func (c CDF) String() string {
+	if len(c.sorted) == 0 {
+		return "CDF{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CDF{n=%d", len(c.sorted))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(&b, " p%.0f=%v", p*100, c.Quantile(p).Round(time.Second))
+	}
+	fmt.Fprintf(&b, " max=%v}", c.sorted[len(c.sorted)-1].Round(time.Second))
+	return b.String()
+}

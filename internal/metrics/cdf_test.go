@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]time.Duration{4, 1, 3, 2}) // unsorted input
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2, 0.5}, {3, 0.75}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.d); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(time.Second) != 0 || c.Len() != 0 {
+		t.Error("empty CDF should report zero")
+	}
+	if c.Points(10) != nil {
+		t.Error("empty CDF points should be nil")
+	}
+	if c.String() != "CDF{empty}" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Millisecond
+		}
+		c := NewCDF(samples)
+		// At is monotone nondecreasing and bounded by [0,1].
+		prev := 0.0
+		for d := time.Duration(0); d < 70*time.Second; d += 5 * time.Second {
+			v := c.At(d)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second})
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	if pts[3][1] != 1.0 || pts[3][0] != 4.0 {
+		t.Errorf("last point = %v, want (4s, 1.0)", pts[3])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] <= pts[i-1][1] {
+			t.Errorf("points not monotone: %v", pts)
+		}
+	}
+}
+
+func TestJCTCDF(t *testing.T) {
+	m := workload.Model{Name: "toy", Stages: workload.StageTimes{0, 0, time.Millisecond, 0}}
+	var jobs []*job.Job
+	for i := 0; i < 10; i++ {
+		j := job.New(job.ID(i), m, 1, 1, 0)
+		j.State = job.Done
+		j.FinishedAt = time.Duration(i+1) * time.Minute
+		jobs = append(jobs, j)
+	}
+	c := JCTCDF(jobs)
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+	if got := c.Quantile(0.5); got != 5*time.Minute {
+		t.Errorf("median = %v, want 5m", got)
+	}
+	if s := c.String(); s == "" || s == "CDF{empty}" {
+		t.Errorf("String = %q", s)
+	}
+}

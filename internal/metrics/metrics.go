@@ -1,0 +1,163 @@
+// Package metrics computes the evaluation metrics of the paper (§6.1):
+// average JCT, makespan, tail (99th-percentile) JCT, queue length,
+// blocking index, and per-resource utilization time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// Summary aggregates the end-of-run metrics over a set of completed jobs.
+type Summary struct {
+	// Jobs is the number of completed jobs summarized.
+	Jobs int
+	// AvgJCT is the mean job completion time.
+	AvgJCT time.Duration
+	// Makespan is the latest finish time minus the earliest submit time.
+	Makespan time.Duration
+	// P99JCT is the 99th-percentile job completion time.
+	P99JCT time.Duration
+	// MedianJCT is the 50th-percentile job completion time.
+	MedianJCT time.Duration
+}
+
+// Summarize computes the summary over jobs, all of which must be Done.
+func Summarize(jobs []*job.Job) Summary {
+	if len(jobs) == 0 {
+		return Summary{}
+	}
+	jcts := make([]time.Duration, 0, len(jobs))
+	var sum time.Duration
+	minSubmit := jobs[0].Submit
+	var maxFinish time.Duration
+	for _, j := range jobs {
+		if j.State != job.Done {
+			panic(fmt.Sprintf("metrics: job %d not done", j.ID))
+		}
+		jct := j.JCT()
+		jcts = append(jcts, jct)
+		sum += jct
+		if j.Submit < minSubmit {
+			minSubmit = j.Submit
+		}
+		if j.FinishedAt > maxFinish {
+			maxFinish = j.FinishedAt
+		}
+	}
+	sort.Slice(jcts, func(i, k int) bool { return jcts[i] < jcts[k] })
+	return Summary{
+		Jobs:      len(jobs),
+		AvgJCT:    sum / time.Duration(len(jobs)),
+		Makespan:  maxFinish - minSubmit,
+		P99JCT:    Percentile(jcts, 0.99),
+		MedianJCT: Percentile(jcts, 0.50),
+	}
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) of sorted durations using
+// the nearest-rank method. It panics on an empty slice or invalid p.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: invalid percentile %v", p))
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Sample is one point of the detailed time series of Figure 8.
+type Sample struct {
+	// Time is the virtual timestamp of the sample.
+	Time time.Duration
+	// QueueLen is the number of pending jobs.
+	QueueLen int
+	// BlockingIndex is the mean ratio of pending time to remaining time
+	// over pending jobs (§6.1: "showing the ability to avoid job
+	// starvation").
+	BlockingIndex float64
+	// Util is the fraction of each resource type in use, averaged over
+	// allocated GPUs' share of the cluster: Util[GPU] is GPU utilization,
+	// Util[Storage] is storage-IO utilization, and so on.
+	Util [workload.NumResources]float64
+	// RunningJobs counts jobs currently holding resources.
+	RunningJobs int
+	// UsedGPUs counts allocated GPUs.
+	UsedGPUs int
+}
+
+// Series is an ordered sequence of samples.
+type Series []Sample
+
+// Mean returns the average of f over the series.
+func (s Series) Mean(f func(Sample) float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s {
+		sum += f(x)
+	}
+	return sum / float64(len(s))
+}
+
+// MeanUtil returns the average utilization of resource r over the series.
+func (s Series) MeanUtil(r workload.Resource) float64 {
+	return s.Mean(func(x Sample) float64 { return x.Util[r] })
+}
+
+// MeanQueueLen returns the average queue length over the series.
+func (s Series) MeanQueueLen() float64 {
+	return s.Mean(func(x Sample) float64 { return float64(x.QueueLen) })
+}
+
+// MeanBlockingIndex returns the average blocking index over the series.
+func (s Series) MeanBlockingIndex() float64 {
+	return s.Mean(func(x Sample) float64 { return x.BlockingIndex })
+}
+
+// BlockingIndex computes the instantaneous blocking index at time now over
+// the pending jobs: mean over pending jobs of pendingTime / remainingTime.
+// Jobs with zero estimated remaining time contribute their pending time in
+// hours, bounding the ratio without dividing by zero.
+func BlockingIndex(pending []*job.Job, now time.Duration) float64 {
+	if len(pending) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range pending {
+		wait := now - j.Submit
+		if wait < 0 {
+			wait = 0
+		}
+		rem := j.RemainingTime()
+		if rem <= 0 {
+			sum += wait.Hours()
+			continue
+		}
+		sum += float64(wait) / float64(rem)
+	}
+	return sum / float64(len(pending))
+}
+
+// Speedup returns baseline/x as a ratio of durations; it is how the paper
+// reports "normalized JCT" (baseline normalized to Muri = 1).
+func Speedup(baseline, x time.Duration) float64 {
+	if x == 0 {
+		return 0
+	}
+	return float64(baseline) / float64(x)
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+func doneJob(id int, submit, finish time.Duration) *job.Job {
+	m := workload.Model{Name: "toy", Stages: workload.StageTimes{0, 0, time.Millisecond, 0}}
+	j := job.New(job.ID(id), m, 1, 1, submit)
+	j.State = job.Done
+	j.FinishedAt = finish
+	return j
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	jobs := []*job.Job{
+		doneJob(0, 0, 10*time.Second),
+		doneJob(1, 5*time.Second, 10*time.Second),
+		doneJob(2, 0, 30*time.Second),
+	}
+	s := Summarize(jobs)
+	if s.Jobs != 3 {
+		t.Errorf("Jobs = %d, want 3", s.Jobs)
+	}
+	// JCTs: 10, 5, 30 → avg 15.
+	if s.AvgJCT != 15*time.Second {
+		t.Errorf("AvgJCT = %v, want 15s", s.AvgJCT)
+	}
+	if s.Makespan != 30*time.Second {
+		t.Errorf("Makespan = %v, want 30s", s.Makespan)
+	}
+	if s.P99JCT != 30*time.Second {
+		t.Errorf("P99JCT = %v, want 30s", s.P99JCT)
+	}
+	if s.MedianJCT != 10*time.Second {
+		t.Errorf("MedianJCT = %v, want 10s", s.MedianJCT)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Jobs != 0 || s.AvgJCT != 0 {
+		t.Errorf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizePanicsOnRunningJob(t *testing.T) {
+	j := doneJob(0, 0, time.Second)
+	j.State = job.Running
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize with running job should panic")
+		}
+	}()
+	Summarize([]*job.Job{j})
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.99, 10}, {0.50, 5}, {1.0, 10}, {0.10, 1}, {0.05, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(d, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, c := range []struct {
+		data []time.Duration
+		p    float64
+	}{
+		{nil, 0.5}, {[]time.Duration{1}, 0}, {[]time.Duration{1}, 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v, %v) should panic", c.data, c.p)
+				}
+			}()
+			Percentile(c.data, c.p)
+		}()
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			d[i] = time.Duration(v)
+		}
+		sort.Slice(d, func(i, k int) bool { return d[i] < d[k] })
+		pa := float64(a%100+1) / 100
+		pb := float64(b%100+1) / 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(d, pa) <= Percentile(d, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockingIndex(t *testing.T) {
+	m := workload.Model{Name: "toy", Stages: workload.StageTimes{0, 0, time.Second, 0}}
+	// Job submitted at t=0 with 10 iterations → 10s remaining.
+	j := job.New(1, m, 1, 10, 0)
+	got := BlockingIndex([]*job.Job{j}, 5*time.Second)
+	if got != 0.5 {
+		t.Errorf("BlockingIndex = %v, want 0.5 (waited 5s of 10s remaining)", got)
+	}
+	if BlockingIndex(nil, time.Second) != 0 {
+		t.Error("empty blocking index should be 0")
+	}
+}
+
+func TestBlockingIndexZeroRemaining(t *testing.T) {
+	m := workload.Model{Name: "toy", Stages: workload.StageTimes{0, 0, time.Second, 0}}
+	j := job.New(1, m, 1, 10, 0)
+	j.DoneIterations = 10 // nothing left
+	got := BlockingIndex([]*job.Job{j}, 2*time.Hour)
+	if got != 2.0 {
+		t.Errorf("BlockingIndex with zero remaining = %v, want wait in hours (2)", got)
+	}
+}
+
+func TestBlockingIndexNegativeWaitClamped(t *testing.T) {
+	m := workload.Model{Name: "toy", Stages: workload.StageTimes{0, 0, time.Second, 0}}
+	j := job.New(1, m, 1, 10, 10*time.Second)
+	if got := BlockingIndex([]*job.Job{j}, 5*time.Second); got != 0 {
+		t.Errorf("BlockingIndex before submit = %v, want 0", got)
+	}
+}
+
+func TestSeriesMeans(t *testing.T) {
+	s := Series{
+		{QueueLen: 2, BlockingIndex: 1.0, Util: [4]float64{0.5, 0, 1, 0}},
+		{QueueLen: 4, BlockingIndex: 3.0, Util: [4]float64{0.7, 0, 0.5, 0}},
+	}
+	if got := s.MeanQueueLen(); got != 3 {
+		t.Errorf("MeanQueueLen = %v, want 3", got)
+	}
+	if got := s.MeanBlockingIndex(); got != 2 {
+		t.Errorf("MeanBlockingIndex = %v, want 2", got)
+	}
+	if got := s.MeanUtil(workload.Storage); got != 0.6 {
+		t.Errorf("MeanUtil(storage) = %v, want 0.6", got)
+	}
+	if got := s.MeanUtil(workload.GPU); got != 0.75 {
+		t.Errorf("MeanUtil(gpu) = %v, want 0.75", got)
+	}
+	var empty Series
+	if empty.MeanQueueLen() != 0 {
+		t.Error("empty series mean should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(20*time.Second, 10*time.Second); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Errorf("Speedup with zero denominator = %v, want 0", got)
+	}
+}

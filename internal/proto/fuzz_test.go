@@ -1,0 +1,44 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// readWriter adapts a reader to the codec's io.ReadWriter (writes are
+// never used by the fuzz target).
+type readWriter struct{ *bytes.Reader }
+
+func (readWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// FuzzCodecRead feeds arbitrary bytes to the framed decoder: it must
+// return an error or a well-formed message, never panic, and never
+// allocate unbounded memory for a hostile length prefix.
+func FuzzCodecRead(f *testing.F) {
+	// Seed with a valid frame and a few corruptions of it.
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	_ = c.Write(&Message{Type: TypeRegister, Register: &Register{MachineID: "m", GPUs: 8}})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	truncated := append([]byte{}, valid[:len(valid)-3]...)
+	f.Add(truncated)
+	corrupted := append([]byte{}, valid...)
+	corrupted[6] ^= 0xff
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCodec(readWriter{bytes.NewReader(data)})
+		for i := 0; i < 4; i++ { // a few frames per input
+			m, err := c.Read()
+			if err != nil {
+				return
+			}
+			if m.Type == "" {
+				t.Fatal("decoded message without type")
+			}
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package proto defines the wire protocol between the Muri scheduler and
+// its executors (paper Figure 3 and §5), plus the client API used to
+// submit jobs. Messages are JSON values framed with a 4-byte big-endian
+// length prefix over a TCP (or any stream) connection.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MaxMessageSize bounds a single frame; anything larger is rejected to
+// protect against corrupt length prefixes.
+const MaxMessageSize = 16 << 20
+
+// Type enumerates the message kinds.
+type Type string
+
+const (
+	// Executor → scheduler.
+	TypeRegister  Type = "register"  // executor announces itself
+	TypeProgress  Type = "progress"  // periodic per-group progress report
+	TypeJobDone   Type = "job_done"  // one group member finished
+	TypeFault     Type = "fault"     // a job failed; push it back to the queue
+	TypeProfiled  Type = "profiled"  // dry-run profiling result
+	TypeHeartbeat Type = "heartbeat" // liveness signal from an idle executor
+
+	// Scheduler → executor.
+	TypeRegisterAck Type = "register_ack"
+	TypeLaunch      Type = "launch"  // start an interleaving group
+	TypeKill        Type = "kill"    // stop a group (preemption)
+	TypeProfileReq  Type = "profile" // dry-run a model and report stages
+
+	// Client → scheduler.
+	TypeSubmit    Type = "submit"
+	TypeSubmitAck Type = "submit_ack"
+	TypeStatus    Type = "status"
+	TypeStatusAck Type = "status_ack"
+)
+
+// JobSpec describes one job inside a Launch message or a Submit request.
+type JobSpec struct {
+	// ID is the scheduler-assigned job identity.
+	ID int64 `json:"id"`
+	// Model is the zoo model name the job trains.
+	Model string `json:"model"`
+	// Stages is the per-iteration stage duration vector (storage, cpu,
+	// gpu, network).
+	Stages [4]time.Duration `json:"stages"`
+	// Iterations is the total iteration count; DoneIterations is the
+	// progress at launch (restart from checkpoint).
+	Iterations     int64 `json:"iterations"`
+	DoneIterations int64 `json:"done_iterations"`
+	// GPUs is the job's GPU requirement.
+	GPUs int `json:"gpus"`
+}
+
+// Register announces an executor and its machine inventory.
+type Register struct {
+	MachineID string `json:"machine_id"`
+	GPUs      int    `json:"gpus"`
+}
+
+// RegisterAck confirms registration.
+type RegisterAck struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Launch instructs an executor to run an interleaving group.
+type Launch struct {
+	// GroupID identifies the group for Kill/Progress correlation.
+	GroupID int64 `json:"group_id"`
+	// GPUs is the number of GPUs the group occupies on the machine.
+	GPUs int `json:"gpus"`
+	// Jobs lists the members in stage-offset order: Jobs[i] starts at
+	// stage offset i (paper §4.1).
+	Jobs []JobSpec `json:"jobs"`
+	// TimeScale compresses virtual stage durations into wall time: a
+	// stage of duration d sleeps d×TimeScale. 1.0 runs in real time.
+	TimeScale float64 `json:"time_scale"`
+	// ReportEvery is how often the executor sends Progress.
+	ReportEvery time.Duration `json:"report_every"`
+}
+
+// Kill stops a group; jobs report their progress before stopping.
+type Kill struct {
+	GroupID int64 `json:"group_id"`
+}
+
+// Progress reports per-job progress of a running group.
+type Progress struct {
+	GroupID int64          `json:"group_id"`
+	Jobs    []JobProgress  `json:"jobs"`
+	Util    [4]float64     `json:"util"` // observed busy fraction per resource
+	Extra   map[string]any `json:"extra,omitempty"`
+}
+
+// JobProgress is one member's progress snapshot.
+type JobProgress struct {
+	ID             int64         `json:"id"`
+	DoneIterations int64         `json:"done_iterations"`
+	AvgIterTime    time.Duration `json:"avg_iter_time"`
+}
+
+// JobDone reports the completion of one member.
+type JobDone struct {
+	GroupID int64 `json:"group_id"`
+	JobID   int64 `json:"job_id"`
+}
+
+// Fault reports a failed job; the scheduler pushes it back to the queue
+// (§5: "the related DL job will be pushed back to the job queue").
+type Fault struct {
+	GroupID int64  `json:"group_id"`
+	JobID   int64  `json:"job_id"`
+	Error   string `json:"error"`
+}
+
+// Heartbeat keeps an executor's registration alive. The worker monitor
+// evicts executors that stay silent past its liveness timeout — TCP
+// alone cannot distinguish a hung machine from an idle one.
+type Heartbeat struct {
+	MachineID string `json:"machine_id"`
+	// RunningGroups lets the monitor cross-check its view.
+	RunningGroups int `json:"running_groups"`
+}
+
+// ProfileReq asks an executor to dry-run a model for a few iterations.
+type ProfileReq struct {
+	Model      string  `json:"model"`
+	Iterations int     `json:"iterations"`
+	TimeScale  float64 `json:"time_scale"`
+}
+
+// Profiled returns measured stage durations (virtual time).
+type Profiled struct {
+	Model  string           `json:"model"`
+	Stages [4]time.Duration `json:"stages"`
+	Err    string           `json:"err,omitempty"`
+}
+
+// Submit is a client request to enqueue a job.
+type Submit struct {
+	Job JobSpec `json:"job"`
+}
+
+// SubmitAck confirms a submission and returns the assigned ID.
+type SubmitAck struct {
+	ID  int64  `json:"id"`
+	Err string `json:"err,omitempty"`
+}
+
+// Status asks for the scheduler's current state.
+type Status struct{}
+
+// StatusAck summarizes the scheduler state.
+type StatusAck struct {
+	Pending   int            `json:"pending"`
+	Running   int            `json:"running"`
+	Done      int            `json:"done"`
+	Executors int            `json:"executors"`
+	Jobs      []JobStatus    `json:"jobs,omitempty"`
+	Extra     map[string]any `json:"extra,omitempty"`
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	ID             int64         `json:"id"`
+	Model          string        `json:"model"`
+	State          string        `json:"state"`
+	DoneIterations int64         `json:"done_iterations"`
+	Iterations     int64         `json:"iterations"`
+	JCT            time.Duration `json:"jct,omitempty"`
+}
+
+// Message is the framed envelope. Exactly one payload field matching Type
+// should be set.
+type Message struct {
+	Type        Type         `json:"type"`
+	Register    *Register    `json:"register,omitempty"`
+	RegisterAck *RegisterAck `json:"register_ack,omitempty"`
+	Launch      *Launch      `json:"launch,omitempty"`
+	Kill        *Kill        `json:"kill,omitempty"`
+	Progress    *Progress    `json:"progress,omitempty"`
+	JobDone     *JobDone     `json:"job_done,omitempty"`
+	Fault       *Fault       `json:"fault,omitempty"`
+	Heartbeat   *Heartbeat   `json:"heartbeat,omitempty"`
+	ProfileReq  *ProfileReq  `json:"profile_req,omitempty"`
+	Profiled    *Profiled    `json:"profiled,omitempty"`
+	Submit      *Submit      `json:"submit,omitempty"`
+	SubmitAck   *SubmitAck   `json:"submit_ack,omitempty"`
+	Status      *Status      `json:"status,omitempty"`
+	StatusAck   *StatusAck   `json:"status_ack,omitempty"`
+}
+
+// Codec reads and writes framed messages on a stream. Reads and writes
+// are independently safe for one reader plus one writer; concurrent
+// writers must synchronize externally (see LockedCodec).
+type Codec struct {
+	r io.Reader
+	w io.Writer
+}
+
+// NewCodec wraps a stream (typically a net.Conn).
+func NewCodec(rw io.ReadWriter) *Codec { return &Codec{r: rw, w: rw} }
+
+// Write frames and sends one message.
+func (c *Codec) Write(m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("proto: marshal %s: %w", m.Type, err)
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("proto: message of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return fmt.Errorf("proto: write body: %w", err)
+	}
+	return nil
+}
+
+// Read receives and decodes one message.
+func (c *Codec) Read() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return nil, fmt.Errorf("proto: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("proto: unmarshal: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("proto: message without type")
+	}
+	return &m, nil
+}

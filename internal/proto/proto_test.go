@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeRegister, Register: &Register{MachineID: "m0", GPUs: 8}},
+		{Type: TypeRegisterAck, RegisterAck: &RegisterAck{OK: true}},
+		{Type: TypeLaunch, Launch: &Launch{
+			GroupID: 7, GPUs: 2, TimeScale: 0.001, ReportEvery: time.Second,
+			Jobs: []JobSpec{{ID: 1, Model: "gpt2", Stages: [4]time.Duration{1, 2, 3, 4}, Iterations: 100, GPUs: 2}},
+		}},
+		{Type: TypeKill, Kill: &Kill{GroupID: 7}},
+		{Type: TypeProgress, Progress: &Progress{GroupID: 7, Jobs: []JobProgress{{ID: 1, DoneIterations: 42}}}},
+		{Type: TypeJobDone, JobDone: &JobDone{GroupID: 7, JobID: 1}},
+		{Type: TypeFault, Fault: &Fault{GroupID: 7, JobID: 1, Error: "cuda oom"}},
+		{Type: TypeProfileReq, ProfileReq: &ProfileReq{Model: "bert", Iterations: 20, TimeScale: 0.001}},
+		{Type: TypeProfiled, Profiled: &Profiled{Model: "bert", Stages: [4]time.Duration{1, 2, 3, 4}}},
+		{Type: TypeSubmit, Submit: &Submit{Job: JobSpec{ID: 9, Model: "a2c"}}},
+		{Type: TypeSubmitAck, SubmitAck: &SubmitAck{ID: 9}},
+		{Type: TypeStatus, Status: &Status{}},
+		{Type: TypeStatusAck, StatusAck: &StatusAck{Pending: 1, Running: 2, Done: 3}},
+	}
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	for _, m := range msgs {
+		if err := c.Write(m); err != nil {
+			t.Fatalf("write %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := c.Read()
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type = %s, want %s", got.Type, want.Type)
+		}
+	}
+}
+
+func TestLaunchFieldsSurvive(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	in := &Message{Type: TypeLaunch, Launch: &Launch{
+		GroupID: 3, GPUs: 4, TimeScale: 0.5, ReportEvery: 2 * time.Second,
+		Jobs: []JobSpec{
+			{ID: 10, Model: "vgg16", Stages: [4]time.Duration{22, 4, 24, 38}, Iterations: 1000, DoneIterations: 17, GPUs: 4},
+			{ID: 11, Model: "gpt2", Stages: [4]time.Duration{1, 1, 85, 28}, Iterations: 2000, GPUs: 4},
+		},
+	}}
+	if err := c.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Launch == nil {
+		t.Fatal("launch payload missing")
+	}
+	if len(out.Launch.Jobs) != 2 || out.Launch.Jobs[0].DoneIterations != 17 {
+		t.Errorf("launch payload corrupted: %+v", out.Launch)
+	}
+	if out.Launch.TimeScale != 0.5 {
+		t.Errorf("time scale = %v, want 0.5", out.Launch.TimeScale)
+	}
+}
+
+func TestReadEOFOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if _, err := c.Read(); err != io.EOF {
+		t.Errorf("Read on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	buf.Write(hdr[:])
+	c := NewCodec(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("{\"type\":\"status\"}") // shorter than declared
+	c := NewCodec(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	body := []byte("not json at all!")
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewCodec(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Error("garbage body accepted")
+	}
+}
+
+func TestMissingTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{}")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewCodec(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Error("typeless message accepted")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		m, err := NewCodec(conn).Read()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- m
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewCodec(conn)
+	if err := c.Write(&Message{Type: TypeRegister, Register: &Register{MachineID: "m1", GPUs: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil || got.Type != TypeRegister || got.Register.MachineID != "m1" {
+		t.Errorf("TCP round trip failed: %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(machine string, gpus uint8, groupID int64, done int64) bool {
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		in := &Message{Type: TypeProgress, Progress: &Progress{
+			GroupID: groupID,
+			Jobs:    []JobProgress{{ID: 1, DoneIterations: done}},
+			Extra:   map[string]any{"machine": machine, "gpus": float64(gpus)},
+		}}
+		if err := c.Write(in); err != nil {
+			return false
+		}
+		out, err := c.Read()
+		if err != nil || out.Progress == nil {
+			return false
+		}
+		return out.Progress.GroupID == groupID && out.Progress.Jobs[0].DoneIterations == done
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManySequentialFrames(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := c.Write(&Message{Type: TypeJobDone, JobDone: &JobDone{GroupID: int64(i), JobID: int64(i * 2)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := c.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.JobDone.GroupID != int64(i) {
+			t.Fatalf("frame %d: group %d", i, m.JobDone.GroupID)
+		}
+	}
+}

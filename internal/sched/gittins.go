@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"muri/internal/job"
+)
+
+// Gittins implements the Gittins-index scheduling policy that Tiresias
+// offers alongside 2D-LAS (paper §2.1: "LAS and Gittins index are
+// effective when the running time is unknown"). The index of a job that
+// has attained service a is the best ratio, over service quanta Δ, of
+//
+//	P(job finishes within Δ more service | it survived a)
+//	------------------------------------------------------
+//	E(service spent in the next Δ | survived a)
+//
+// computed against an empirical distribution of previously completed job
+// service demands. Jobs with the highest index run first; like 2D-LAS,
+// the index needs no per-job duration oracle, only the history of
+// completed jobs. The 2D extension multiplies attained service by the
+// GPU count, exactly as Tiresias does for LAS.
+type Gittins struct {
+	// Quanta are the candidate service deltas Δ evaluated for the index.
+	// Empty uses a geometric ladder from one minute to one day.
+	Quanta []time.Duration
+
+	// dirty marks the history as needing a re-sort before the next index
+	// computation. Gittins is not safe for concurrent use; the simulator
+	// drives each policy instance from a single goroutine.
+	dirty   bool
+	history []float64 // completed total service (gpu-seconds), sorted
+}
+
+// NewGittins returns the policy with the default quantum ladder.
+func NewGittins() *Gittins { return &Gittins{} }
+
+// Name implements Policy.
+func (g *Gittins) Name() string { return "gittins" }
+
+// Preemptive implements Policy.
+func (g *Gittins) Preemptive() bool { return true }
+
+// Observe records the total service demand of a completed job. The
+// simulator calls it on every completion so the empirical prior sharpens
+// as the trace plays out.
+func (g *Gittins) Observe(totalService time.Duration) {
+	g.history = append(g.history, totalService.Seconds())
+	g.dirty = true
+}
+
+func (g *Gittins) quanta() []time.Duration {
+	if len(g.Quanta) > 0 {
+		return g.Quanta
+	}
+	return []time.Duration{
+		time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour,
+		4 * time.Hour, 12 * time.Hour, 24 * time.Hour,
+	}
+}
+
+// index computes the Gittins index for attained service a (gpu-seconds).
+// With no history, every job gets the same index (degenerates to FIFO
+// order via the sort tie-break) — matching a cold-started Tiresias.
+func (g *Gittins) index(a float64) float64 {
+	if g.dirty {
+		sort.Float64s(g.history)
+		g.dirty = false
+	}
+	n := len(g.history)
+	if n == 0 {
+		return 0
+	}
+	// survivors: jobs with demand > a.
+	lo := sort.SearchFloat64s(g.history, a)
+	survivors := g.history[lo:]
+	if len(survivors) == 0 {
+		// Beyond every observed demand: assume heavy tail, lowest index.
+		return 0
+	}
+	best := 0.0
+	for _, q := range g.quanta() {
+		dq := q.Seconds()
+		finished := 0
+		expected := 0.0
+		for _, d := range survivors {
+			if d <= a+dq {
+				finished++
+				expected += d - a
+			} else {
+				expected += dq
+			}
+		}
+		p := float64(finished) / float64(len(survivors))
+		if expected <= 0 {
+			continue
+		}
+		if r := p / (expected / float64(len(survivors))); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Plan implements Policy: exclusive units ordered by descending Gittins
+// index on 2D attained service.
+func (g *Gittins) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
+	ordered := append([]*job.Job{}, jobs...)
+	sortJobs(ordered, func(j *job.Job) float64 {
+		a := j.Attained.Seconds() * float64(j.GPUs)
+		return -g.index(a) // highest index first
+	})
+	return exclusiveUnits(ordered)
+}

@@ -1,0 +1,461 @@
+// Package sched defines the scheduling-policy interface and implements
+// the policies evaluated in the paper: the baselines (FIFO, SRTF, SRSF,
+// Tiresias/2D-LAS, Themis, AntMan) and Muri itself (Muri-S with SRSF
+// priorities, Muri-L with 2D-LAS priorities), plus the ablation variants
+// of Figures 11 and 12.
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"muri/internal/core"
+	"muri/internal/interleave"
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// Mode describes how the jobs of a unit share their GPUs.
+type Mode int
+
+const (
+	// Exclusive units hold their GPUs for a single job.
+	Exclusive Mode = iota
+	// Interleaved units time-interleave their members' stages with
+	// synchronization barriers (Muri groups).
+	Interleaved
+	// SpaceShared units co-locate members on the same GPUs without stage
+	// coordination (AntMan-style sharing): members contend whenever their
+	// resource usage overlaps.
+	SpaceShared
+)
+
+// String returns the lowercase mode name.
+func (m Mode) String() string {
+	switch m {
+	case Exclusive:
+		return "exclusive"
+	case Interleaved:
+		return "interleaved"
+	case SpaceShared:
+		return "space-shared"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Unit is one schedulable entity: a set of jobs that share one GPU
+// allocation of size GPUs. Exclusive units have exactly one member.
+type Unit struct {
+	// Jobs lists the members; for Interleaved units they are in plan
+	// (stage-offset) order.
+	Jobs []*job.Job
+	// GPUs is the allocation size every member requires.
+	GPUs int
+	// Mode is the sharing discipline.
+	Mode Mode
+	// Plan is the interleaving plan (Interleaved mode only).
+	Plan interleave.Plan
+}
+
+// Policy decides which units run. The simulator invokes Plan at every
+// scheduling interval; for preemptive policies jobs contains every
+// unfinished job (running ones included), for non-preemptive policies it
+// contains only jobs not currently placed.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Preemptive reports whether the policy reconsiders running jobs.
+	Preemptive() bool
+	// Plan returns candidate units in descending placement priority.
+	// capacity is the cluster's total GPU count; policies use it to bound
+	// how many queue entries they consider.
+	Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit
+}
+
+// sortJobs sorts jobs by the given key ascending, breaking ties by
+// submission time then ID for determinism.
+func sortJobs(jobs []*job.Job, key func(*job.Job) float64) {
+	sort.SliceStable(jobs, func(i, k int) bool {
+		a, b := key(jobs[i]), key(jobs[k])
+		if a != b {
+			return a < b
+		}
+		if jobs[i].Submit != jobs[k].Submit {
+			return jobs[i].Submit < jobs[k].Submit
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+}
+
+// exclusiveUnits wraps each job in its own unit, preserving order.
+func exclusiveUnits(jobs []*job.Job) []Unit {
+	units := make([]Unit, len(jobs))
+	for i, j := range jobs {
+		units[i] = Unit{Jobs: []*job.Job{j}, GPUs: j.GPUs, Mode: Exclusive}
+	}
+	return units
+}
+
+// priorityPolicy is a generic exclusive-allocation policy ordered by a
+// priority key (lower runs first).
+type priorityPolicy struct {
+	name       string
+	preemptive bool
+	key        func(now time.Duration, j *job.Job) float64
+}
+
+func (p priorityPolicy) Name() string     { return p.name }
+func (p priorityPolicy) Preemptive() bool { return p.preemptive }
+
+func (p priorityPolicy) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
+	ordered := append([]*job.Job{}, jobs...)
+	sortJobs(ordered, func(j *job.Job) float64 { return p.key(now, j) })
+	return exclusiveUnits(ordered)
+}
+
+// FIFO schedules jobs exclusively in arrival order without preemption.
+func FIFO() Policy {
+	return priorityPolicy{name: "fifo", preemptive: false,
+		key: func(_ time.Duration, j *job.Job) float64 { return j.Submit.Seconds() }}
+}
+
+// SRTF is Shortest Remaining Time First: preemptive, exclusive, ordered
+// by remaining run time (GPU count ignored).
+func SRTF() Policy {
+	return priorityPolicy{name: "srtf", preemptive: true,
+		key: func(_ time.Duration, j *job.Job) float64 { return j.RemainingTime().Seconds() }}
+}
+
+// SRSF is Shortest Remaining Service First (Tiresias's duration-aware
+// metric): preemptive, exclusive, ordered by remaining time × GPUs.
+func SRSF() Policy {
+	return priorityPolicy{name: "srsf", preemptive: true,
+		key: func(_ time.Duration, j *job.Job) float64 { return j.SRSF() }}
+}
+
+// Tiresias is the 2D-LAS configuration of Tiresias: preemptive,
+// exclusive, ordered by attained service × GPUs, so new jobs run first.
+func Tiresias() Policy {
+	return priorityPolicy{name: "tiresias", preemptive: true,
+		key: func(_ time.Duration, j *job.Job) float64 { return j.LAS2D() }}
+}
+
+// Themis approximates Themis's finish-time fairness: preemptive,
+// exclusive, ordered by descending ρ = (waiting + attained + remaining) /
+// ideal total — jobs that have been treated most unfairly run first. This
+// captures the ordering property the paper's comparison relies on; the
+// full auction protocol is out of scope (see DESIGN.md §1).
+func Themis() Policy {
+	return priorityPolicy{name: "themis", preemptive: true,
+		key: func(now time.Duration, j *job.Job) float64 {
+			total := j.TotalTime().Seconds()
+			if total <= 0 {
+				return 0
+			}
+			age := (now - j.Submit).Seconds()
+			if age < 0 {
+				age = 0
+			}
+			rho := (age + j.RemainingTime().Seconds()) / total
+			return -rho
+		}}
+}
+
+// AntMan models AntMan's opportunistic GPU sharing: non-preemptive FIFO
+// order, with up to ShareDegree jobs of equal GPU requirement co-located
+// on one allocation. Sharing is spatial (no stage coordination), so
+// co-located jobs slow each other down in proportion to how much their
+// resource usage overlaps.
+type AntMan struct {
+	// ShareDegree is the maximum number of jobs per GPU allocation
+	// (AntMan packs one resource-guaranteed job plus opportunistic ones;
+	// 2 is the common case).
+	ShareDegree int
+}
+
+// Name implements Policy.
+func (a AntMan) Name() string { return "antman" }
+
+// Preemptive implements Policy: AntMan is non-preemptive (§6.3).
+func (a AntMan) Preemptive() bool { return false }
+
+// Plan implements Policy: FIFO order, pairing adjacent jobs with the same
+// GPU requirement.
+func (a AntMan) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
+	degree := a.ShareDegree
+	if degree < 1 {
+		degree = 2
+	}
+	ordered := append([]*job.Job{}, jobs...)
+	sortJobs(ordered, func(j *job.Job) float64 { return j.Submit.Seconds() })
+	var units []Unit
+	pendingByGPU := make(map[int][]*job.Job)
+	flush := func(g int) {
+		batch := pendingByGPU[g]
+		if len(batch) == 0 {
+			return
+		}
+		mode := SpaceShared
+		if len(batch) == 1 {
+			mode = Exclusive
+		}
+		units = append(units, Unit{Jobs: batch, GPUs: g, Mode: mode})
+		pendingByGPU[g] = nil
+	}
+	for _, j := range ordered {
+		pendingByGPU[j.GPUs] = append(pendingByGPU[j.GPUs], j)
+		if len(pendingByGPU[j.GPUs]) == degree {
+			flush(j.GPUs)
+		}
+	}
+	// Flush leftovers in deterministic order.
+	var gs []int
+	for g, batch := range pendingByGPU {
+		if len(batch) > 0 {
+			gs = append(gs, g)
+		}
+	}
+	sort.Ints(gs)
+	for _, g := range gs {
+		flush(g)
+	}
+	// Restore global FIFO order across units (earliest member first).
+	sort.SliceStable(units, func(i, k int) bool {
+		return units[i].Jobs[0].Submit < units[k].Jobs[0].Submit
+	})
+	return units
+}
+
+// SpaceSharedSlowdown returns the multiplicative slowdown each member of a
+// space-shared unit experiences: 1 + the pairwise overlap of resource-time
+// fractions with every co-located job. Two jobs with identical profiles
+// overlap fully (≈2× slowdown, the paper's §2.1 example); complementary
+// jobs overlap little.
+func SpaceSharedSlowdown(member workload.StageTimes, others []workload.StageTimes) float64 {
+	mf := member.Fractions()
+	slow := 1.0
+	for _, o := range others {
+		of := o.Fractions()
+		overlap := 0.0
+		for r := 0; r < workload.NumResources; r++ {
+			if mf[r] < of[r] {
+				overlap += mf[r]
+			} else {
+				overlap += of[r]
+			}
+		}
+		slow += overlap
+	}
+	return slow
+}
+
+// Muri is the paper's scheduler: priority ordering (SRSF or 2D-LAS)
+// combined with the multi-round Blossom grouping of Algorithm 1.
+type Muri struct {
+	// Grouping configures Algorithm 1 (group size cap, Blossom on/off,
+	// ordering ablation, contention model).
+	Grouping core.Config
+	// KnownDurations selects the priority function: true = SRSF (Muri-S),
+	// false = 2D-LAS (Muri-L).
+	KnownDurations bool
+	// CandidateFactor bounds how much work is considered for grouping:
+	// jobs are taken in priority order until their summed GPU demand
+	// reaches CandidateFactor × capacity (Algorithm 1 line 3: "these n
+	// jobs can be fully grouped and they can fully utilize the cluster").
+	// Zero defaults to the group-size cap (k jobs per GPU).
+	CandidateFactor int
+	// Sticky keeps groups formed in earlier scheduling rounds together
+	// (as pre-merged matching nodes) while all their members remain
+	// candidates, reducing preemption/restart churn. Off by default; the
+	// paper's prototype rematches from scratch every interval.
+	Sticky bool
+	// Label overrides the reported name (used by ablation variants).
+	Label string
+
+	// prevGroups remembers the last plan's multi-job groups for Sticky.
+	prevGroups [][]job.ID
+}
+
+// NewMuriS returns Muri with SRSF priorities (known durations). Known
+// durations also enable the JCT merge gate: groups form only when the
+// merge lowers the members' summed completion time versus sequential
+// execution.
+func NewMuriS() *Muri {
+	cfg := core.DefaultConfig()
+	cfg.Gate = core.GateJCT
+	return &Muri{Grouping: cfg, KnownDurations: true}
+}
+
+// NewMuriL returns Muri with 2D-LAS priorities (unknown durations). The
+// JCT merge gate runs on the least-attained-service estimate of remaining
+// work: with heavy-tailed DL job durations, a job that has attained a lot
+// of service is expected to need about as much again, while a fresh job
+// is expected to be short.
+func NewMuriL() *Muri {
+	cfg := core.DefaultConfig()
+	cfg.Gate = core.GateJCT
+	cfg.RemainingIters = func(j *job.Job) int64 {
+		// Floor at ten minutes of iterations so brand-new jobs are not
+		// treated as instantaneous.
+		floor := int64(1)
+		if it := j.Profile.Total(); it > 0 {
+			floor = int64(10 * time.Minute / it)
+			if floor < 1 {
+				floor = 1
+			}
+		}
+		if j.DoneIterations > floor {
+			return j.DoneIterations
+		}
+		return floor
+	}
+	return &Muri{Grouping: cfg, KnownDurations: false}
+}
+
+// Name implements Policy.
+func (m *Muri) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	if m.KnownDurations {
+		return "muri-s"
+	}
+	return "muri-l"
+}
+
+// Preemptive implements Policy.
+func (m *Muri) Preemptive() bool { return true }
+
+// Plan implements Policy: sort by priority, take candidates to fill the
+// cluster CandidateFactor times over, group with Algorithm 1, and order
+// groups by their best member's priority.
+func (m *Muri) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
+	ordered := append([]*job.Job{}, jobs...)
+	if m.KnownDurations {
+		sortJobs(ordered, func(j *job.Job) float64 { return j.SRSF() })
+	} else {
+		sortJobs(ordered, func(j *job.Job) float64 { return j.LAS2D() })
+	}
+	maxGroup := m.Grouping.MaxGroupSize
+	if maxGroup <= 0 {
+		maxGroup = interleave.MaxGroupSize
+	}
+	factor := m.CandidateFactor
+	if factor <= 0 {
+		factor = maxGroup
+	}
+	budget := factor * capacity
+	cut := len(ordered)
+	taken := 0
+	for i, j := range ordered {
+		if taken >= budget {
+			cut = i
+			break
+		}
+		taken += j.GPUs
+	}
+	candidates := ordered[:cut]
+	// Capacity-aware Algorithm 1: merges happen only while the candidate
+	// demand exceeds the cluster, so a lightly loaded cluster degrades to
+	// pure SRSF/2D-LAS with exclusive GPUs. With Sticky, groups whose
+	// members all survive as candidates enter as pre-merged nodes.
+	demand := 0
+	for _, j := range candidates {
+		demand += j.GPUs
+	}
+	var groups []core.Group
+	if m.Sticky && demand > capacity {
+		seeds, rest := m.extractSeeds(candidates)
+		groups = m.Grouping.PlanWithSeeds(seeds, rest, capacity)
+	} else {
+		groups = m.Grouping.Plan(candidates, capacity)
+	}
+	m.rememberGroups(groups)
+	// Rank groups by their most urgent member (position in the priority
+	// order), so capacity goes to the highest-priority work first.
+	rank := make(map[job.ID]int, len(ordered))
+	for i, j := range ordered {
+		rank[j.ID] = i
+	}
+	groupRank := func(g core.Group) int {
+		best := len(ordered)
+		for _, j := range g.Jobs {
+			if r := rank[j.ID]; r < best {
+				best = r
+			}
+		}
+		return best
+	}
+	sort.SliceStable(groups, func(i, k int) bool {
+		return groupRank(groups[i]) < groupRank(groups[k])
+	})
+	units := make([]Unit, 0, len(groups)+len(ordered)-cut)
+	for _, g := range groups {
+		mode := Interleaved
+		if len(g.Jobs) == 1 {
+			mode = Exclusive
+		}
+		units = append(units, Unit{Jobs: g.Jobs, GPUs: g.GPUs, Mode: mode, Plan: g.Plan})
+	}
+	// Jobs beyond the grouping budget still back-fill exclusively: when a
+	// high-priority multi-GPU unit cannot be placed, the spare capacity
+	// must not idle while the queue has work.
+	units = append(units, exclusiveUnits(ordered[cut:])...)
+	return units
+}
+
+// extractSeeds reconstructs the previous plan's multi-job groups from the
+// current candidate set: a group survives as a seed only if every member
+// is still a candidate. It returns the seeds and the remaining loose
+// candidates.
+func (m *Muri) extractSeeds(candidates []*job.Job) (seeds [][]*job.Job, rest []*job.Job) {
+	if len(m.prevGroups) == 0 {
+		return nil, candidates
+	}
+	byID := make(map[job.ID]*job.Job, len(candidates))
+	for _, j := range candidates {
+		byID[j.ID] = j
+	}
+	seeded := make(map[job.ID]bool)
+	for _, ids := range m.prevGroups {
+		group := make([]*job.Job, 0, len(ids))
+		ok := true
+		for _, id := range ids {
+			j := byID[id]
+			if j == nil || seeded[id] {
+				ok = false
+				break
+			}
+			group = append(group, j)
+		}
+		if !ok {
+			continue
+		}
+		for _, j := range group {
+			seeded[j.ID] = true
+		}
+		seeds = append(seeds, group)
+	}
+	for _, j := range candidates {
+		if !seeded[j.ID] {
+			rest = append(rest, j)
+		}
+	}
+	return seeds, rest
+}
+
+// rememberGroups records the plan's multi-job groups for the next round.
+func (m *Muri) rememberGroups(groups []core.Group) {
+	m.prevGroups = m.prevGroups[:0]
+	for _, g := range groups {
+		if len(g.Jobs) < 2 {
+			continue
+		}
+		ids := make([]job.ID, len(g.Jobs))
+		for i, j := range g.Jobs {
+			ids[i] = j.ID
+		}
+		m.prevGroups = append(m.prevGroups, ids)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"muri/internal/proto"
+	"muri/internal/trace"
+	"muri/internal/workload"
+)
+
+// Client talks to a running scheduler daemon over TCP.
+type Client struct {
+	conn  net.Conn
+	codec *proto.Codec
+}
+
+// Dial connects a client to the scheduler at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return &Client{conn: conn, codec: proto.NewCodec(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Submit enqueues a job training the named model and returns its ID.
+// Pass zero stages to let the scheduler profile the model (or reuse its
+// cache); iterations must be positive.
+func (c *Client) Submit(model string, gpus int, iterations int64) (int64, error) {
+	return c.SubmitSpec(proto.JobSpec{Model: model, GPUs: gpus, Iterations: iterations})
+}
+
+// SubmitSpec enqueues a fully specified job: non-zero Stages skip the
+// scheduler-side profiling dry run (a user-supplied profile).
+func (c *Client) SubmitSpec(spec proto.JobSpec) (int64, error) {
+	msg := &proto.Message{Type: proto.TypeSubmit, Submit: &proto.Submit{Job: spec}}
+	if err := c.codec.Write(msg); err != nil {
+		return 0, err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return 0, err
+	}
+	if reply.Type != proto.TypeSubmitAck || reply.SubmitAck == nil {
+		return 0, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if reply.SubmitAck.Err != "" {
+		return 0, fmt.Errorf("client: submit rejected: %s", reply.SubmitAck.Err)
+	}
+	return reply.SubmitAck.ID, nil
+}
+
+// Status fetches the scheduler's state snapshot.
+func (c *Client) Status() (proto.StatusAck, error) {
+	if err := c.codec.Write(&proto.Message{Type: proto.TypeStatus, Status: &proto.Status{}}); err != nil {
+		return proto.StatusAck{}, err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return proto.StatusAck{}, err
+	}
+	if reply.Type != proto.TypeStatusAck || reply.StatusAck == nil {
+		return proto.StatusAck{}, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return *reply.StatusAck, nil
+}
+
+// Replay submits every job of a trace to the scheduler, pacing the
+// submissions by the trace's inter-arrival gaps compressed by timeScale
+// (wall sleep = virtual gap × timeScale). Iteration counts derive from
+// each spec's duration and its model's serial iteration time, exactly as
+// the simulator does. It returns the submitted job IDs.
+func (c *Client) Replay(ctx context.Context, tr trace.Trace, timeScale float64) ([]int64, error) {
+	if timeScale <= 0 {
+		return nil, fmt.Errorf("client: non-positive time scale")
+	}
+	var ids []int64
+	var prev time.Duration
+	for i, sp := range tr.Specs {
+		if gap := sp.Submit - prev; gap > 0 && i > 0 {
+			t := time.NewTimer(time.Duration(float64(gap) * timeScale))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ids, ctx.Err()
+			case <-t.C:
+			}
+		}
+		prev = sp.Submit
+		m, err := workload.ByName(sp.Model)
+		if err != nil {
+			return ids, err
+		}
+		iters := int64(sp.Duration / m.Stages.Total())
+		if iters < 1 {
+			iters = 1
+		}
+		id, err := c.Submit(sp.Model, sp.GPUs, iters)
+		if err != nil {
+			return ids, fmt.Errorf("client: replay spec %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// WaitAllDone polls until every submitted job is done or the timeout
+// elapses, returning the final status.
+func (c *Client) WaitAllDone(timeout, poll time.Duration) (proto.StatusAck, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status()
+		if err != nil {
+			return st, err
+		}
+		if len(st.Jobs) > 0 && st.Pending == 0 && st.Running == 0 {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("client: timed out with %d pending, %d running", st.Pending, st.Running)
+		}
+		time.Sleep(poll)
+	}
+}

@@ -1,0 +1,785 @@
+// Package server implements the Muri scheduler daemon of Figure 3: a job
+// queue fed by clients, a resource profiler that dry-runs first-seen
+// models on an executor, a job scheduler that periodically runs the
+// grouping policy, and a worker monitor that tracks executors, job
+// progress, and faults.
+//
+// The daemon speaks the internal/proto protocol over TCP. Executors
+// register and receive Launch/Kill commands; clients submit jobs and poll
+// status. Time is virtual: stage durations are scaled by TimeScale on the
+// executors, and the scheduler converts wall-clock spans back to virtual
+// time for metrics.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/proto"
+	"muri/internal/sched"
+	"muri/internal/workload"
+)
+
+// Config parameterizes the scheduler daemon.
+type Config struct {
+	// Policy decides grouping and ordering; nil defaults to Muri-L.
+	Policy sched.Policy
+	// Interval is the scheduling period (virtual-time semantics are up to
+	// the caller; the prototype usually runs with a short wall interval).
+	Interval time.Duration
+	// TimeScale is forwarded to executors: virtual stage duration ×
+	// TimeScale = wall sleep.
+	TimeScale float64
+	// ReportEvery is the executor progress-report period (wall time).
+	ReportEvery time.Duration
+	// ProfileIterations is the dry-run length for first-seen models.
+	ProfileIterations int
+	// LivenessTimeout evicts executors that have sent nothing (not even
+	// a heartbeat) for this long. Zero means 5 seconds; executors
+	// heartbeat every second by default.
+	LivenessTimeout time.Duration
+	// ProfileTimeScale is the time scale used for dry-run profiling. It
+	// defaults to 0.05 — coarser than TimeScale — because measuring
+	// microsecond sleeps is dominated by timer overhead and would destroy
+	// the stage ratios the scheduler depends on.
+	ProfileTimeScale float64
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// jobState tracks one submitted job.
+type jobState struct {
+	spec    proto.JobSpec
+	job     *job.Job
+	state   string // "profiling", "pending", "running", "done"
+	groupID int64
+	// virtual bookkeeping
+	submittedAt time.Time
+	finishedAt  time.Time
+	lastSeen    time.Time
+	faults      int
+}
+
+// executorConn is one registered executor.
+type executorConn struct {
+	id       string
+	gpus     int
+	free     int
+	codec    *proto.Codec
+	wmu      sync.Mutex
+	conn     net.Conn
+	gone     bool
+	lastSeen time.Time
+}
+
+func (e *executorConn) send(m *proto.Message) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.codec.Write(m)
+}
+
+// groupState is one launched group.
+type groupState struct {
+	id    int64
+	key   string
+	exec  *executorConn
+	gpus  int
+	jobs  []int64
+	spec  sched.Unit
+	since time.Time
+}
+
+// Server is the scheduler daemon.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu        sync.Mutex
+	executors map[string]*executorConn
+	jobs      map[int64]*jobState
+	groups    map[int64]*groupState
+	profiles  map[string][4]time.Duration
+	profiling map[string]bool
+	nextJob   int64
+	nextGroup int64
+	started   time.Time
+	closed    bool
+	conns     map[net.Conn]bool
+	kick      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New creates a daemon with defaults filled in.
+func New(cfg Config) *Server {
+	if cfg.Policy == nil {
+		cfg.Policy = sched.NewMuriL()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 0.001
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 50 * time.Millisecond
+	}
+	if cfg.ProfileIterations <= 0 {
+		cfg.ProfileIterations = 5
+	}
+	if cfg.ProfileTimeScale <= 0 {
+		cfg.ProfileTimeScale = 0.05
+	}
+	if cfg.LivenessTimeout <= 0 {
+		cfg.LivenessTimeout = 5 * time.Second
+	}
+	return &Server{
+		cfg:       cfg,
+		executors: make(map[string]*executorConn),
+		jobs:      make(map[int64]*jobState),
+		groups:    make(map[int64]*groupState),
+		profiles:  make(map[string][4]time.Duration),
+		profiling: make(map[string]bool),
+		conns:     make(map[net.Conn]bool),
+		kick:      make(chan struct{}, 1),
+		started:   time.Now(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// ListenAndServe binds addr and serves until Close. It returns the bound
+// address through Addr once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.scheduleLoop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Addr returns the bound listener address (for tests using port 0).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the daemon: the listener closes, executors are
+// disconnected, and background loops drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.kickSchedule() // wake the schedule loop so it observes closed
+	s.wg.Wait()
+}
+
+// handleConn dispatches a new connection based on its first message.
+func (s *Server) handleConn(conn net.Conn) {
+	codec := proto.NewCodec(conn)
+	m, err := codec.Read()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch m.Type {
+	case proto.TypeRegister:
+		s.handleExecutor(conn, codec, m.Register)
+	case proto.TypeSubmit, proto.TypeStatus:
+		s.handleClient(conn, codec, m)
+	default:
+		s.logf("server: unexpected first message %s", m.Type)
+		conn.Close()
+	}
+}
+
+// handleExecutor serves one executor connection until it drops.
+func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Register) {
+	e := &executorConn{id: reg.MachineID, gpus: reg.GPUs, free: reg.GPUs,
+		codec: codec, conn: conn, lastSeen: time.Now()}
+	s.mu.Lock()
+	if _, dup := s.executors[e.id]; dup || reg.GPUs <= 0 {
+		s.mu.Unlock()
+		_ = e.send(&proto.Message{Type: proto.TypeRegisterAck,
+			RegisterAck: &proto.RegisterAck{OK: false, Reason: "duplicate machine id or no GPUs"}})
+		conn.Close()
+		return
+	}
+	s.executors[e.id] = e
+	s.mu.Unlock()
+	if err := e.send(&proto.Message{Type: proto.TypeRegisterAck, RegisterAck: &proto.RegisterAck{OK: true}}); err != nil {
+		s.dropExecutor(e)
+		return
+	}
+	s.logf("server: executor %s registered with %d GPUs", e.id, e.gpus)
+	s.kickSchedule()
+	for {
+		m, err := codec.Read()
+		if err != nil {
+			s.dropExecutor(e)
+			return
+		}
+		s.mu.Lock()
+		e.lastSeen = time.Now()
+		s.mu.Unlock()
+		switch m.Type {
+		case proto.TypeProgress:
+			s.onProgress(m.Progress)
+		case proto.TypeJobDone:
+			s.onJobDone(m.JobDone)
+		case proto.TypeFault:
+			s.onFault(m.Fault)
+		case proto.TypeProfiled:
+			s.onProfiled(m.Profiled)
+		case proto.TypeHeartbeat:
+			// lastSeen update above is all a heartbeat needs.
+		default:
+			s.logf("server: unexpected executor message %s", m.Type)
+		}
+	}
+}
+
+// dropExecutor handles an executor disconnect: its groups' jobs go back
+// to the queue (the worker monitor's fault handling, §5).
+func (s *Server) dropExecutor(e *executorConn) {
+	e.conn.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.gone {
+		return
+	}
+	e.gone = true
+	delete(s.executors, e.id)
+	for gid, g := range s.groups {
+		if g.exec != e {
+			continue
+		}
+		for _, jid := range g.jobs {
+			if js := s.jobs[jid]; js != nil && js.state == "running" {
+				js.state = "pending"
+				js.groupID = 0
+			}
+		}
+		delete(s.groups, gid)
+	}
+	s.logf("server: executor %s dropped; jobs requeued", e.id)
+	s.kickSchedule()
+}
+
+// handleClient serves a client connection: each request gets a reply,
+// and the connection may carry many requests.
+func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Message) {
+	defer conn.Close()
+	m := first
+	for {
+		var reply proto.Message
+		switch m.Type {
+		case proto.TypeSubmit:
+			id, err := s.submit(m.Submit.Job)
+			ack := proto.SubmitAck{ID: id}
+			if err != nil {
+				ack.Err = err.Error()
+			}
+			reply = proto.Message{Type: proto.TypeSubmitAck, SubmitAck: &ack}
+		case proto.TypeStatus:
+			st := s.status()
+			reply = proto.Message{Type: proto.TypeStatusAck, StatusAck: &st}
+		default:
+			s.logf("server: unexpected client message %s", m.Type)
+			return
+		}
+		if err := codec.Write(&reply); err != nil {
+			return
+		}
+		var err error
+		m, err = codec.Read()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// submit enqueues a job. Stage durations come from, in order: the
+// submitted spec, the profile cache, or a dry-run profiling round on an
+// executor (the job waits in "profiling" state meanwhile).
+func (s *Server) submit(spec proto.JobSpec) (int64, error) {
+	if spec.Iterations <= 0 {
+		return 0, errors.New("server: job needs a positive iteration count")
+	}
+	if spec.GPUs <= 0 {
+		spec.GPUs = 1
+	}
+	m, err := workload.ByName(spec.Model)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob++
+	spec.ID = s.nextJob
+	js := &jobState{spec: spec, submittedAt: time.Now(), lastSeen: time.Now()}
+	var stages [4]time.Duration
+	switch {
+	case spec.Stages != ([4]time.Duration{}):
+		stages = spec.Stages
+		js.state = "pending"
+	case s.profiles[spec.Model] != ([4]time.Duration{}):
+		stages = s.profiles[spec.Model]
+		js.state = "pending"
+	default:
+		js.state = "profiling"
+		s.requestProfileLocked(spec.Model)
+	}
+	js.spec.Stages = stages
+	var st workload.StageTimes
+	copy(st[:], stages[:])
+	model := m
+	model.Stages = st
+	js.job = job.New(job.ID(spec.ID), model, spec.GPUs, spec.Iterations, s.virtualNowLocked())
+	js.job.DoneIterations = spec.DoneIterations
+	s.jobs[spec.ID] = js
+	s.kickSchedule()
+	return spec.ID, nil
+}
+
+// requestProfileLocked asks any executor to dry-run the model. Callers
+// hold s.mu.
+func (s *Server) requestProfileLocked(model string) {
+	if s.profiling[model] {
+		return
+	}
+	for _, e := range s.executors {
+		s.profiling[model] = true
+		req := &proto.Message{Type: proto.TypeProfileReq, ProfileReq: &proto.ProfileReq{
+			Model: model, Iterations: s.cfg.ProfileIterations, TimeScale: s.cfg.ProfileTimeScale,
+		}}
+		exec := e
+		go func() {
+			if err := exec.send(req); err != nil {
+				s.mu.Lock()
+				delete(s.profiling, model)
+				s.mu.Unlock()
+			}
+		}()
+		return
+	}
+	// No executor yet: retried by the schedule loop.
+}
+
+// onProfiled stores a measured profile and releases waiting jobs.
+func (s *Server) onProfiled(p *proto.Profiled) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.profiling, p.Model)
+	if p.Err != "" {
+		s.logf("server: profiling %s failed: %s", p.Model, p.Err)
+		return
+	}
+	s.profiles[p.Model] = p.Stages
+	var st workload.StageTimes
+	copy(st[:], p.Stages[:])
+	for _, js := range s.jobs {
+		if js.state == "profiling" && js.spec.Model == p.Model {
+			js.spec.Stages = p.Stages
+			js.job.Profile = st
+			js.job.TrueProfile = st
+			js.state = "pending"
+		}
+	}
+	s.kickSchedule()
+}
+
+// virtualNowLocked converts wall time since start to virtual time.
+func (s *Server) virtualNowLocked() time.Duration {
+	return time.Duration(float64(time.Since(s.started)) / s.cfg.TimeScale)
+}
+
+// onProgress updates the worker monitor's view of a group.
+func (s *Server) onProgress(p *proto.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, jp := range p.Jobs {
+		js := s.jobs[jp.ID]
+		if js == nil || js.state == "done" {
+			continue
+		}
+		if jp.DoneIterations > js.job.DoneIterations {
+			js.job.DoneIterations = jp.DoneIterations
+		}
+		now := time.Now()
+		if js.state == "running" {
+			wall := now.Sub(js.lastSeen)
+			js.job.Attained += time.Duration(float64(wall) / s.cfg.TimeScale)
+		}
+		js.lastSeen = now
+	}
+}
+
+// onJobDone finalizes a completed job.
+func (s *Server) onJobDone(d *proto.JobDone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := s.jobs[d.JobID]
+	if js == nil || js.state == "done" {
+		return
+	}
+	js.state = "done"
+	js.finishedAt = time.Now()
+	js.job.DoneIterations = js.job.Iterations
+	js.job.State = job.Done
+	js.job.FinishedAt = s.virtualNowLocked()
+	s.detachFromGroupLocked(d.GroupID, d.JobID)
+	s.kickSchedule()
+}
+
+// onFault pushes a failed job back to the queue (§5).
+func (s *Server) onFault(f *proto.Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := s.jobs[f.JobID]
+	if js == nil || js.state == "done" {
+		return
+	}
+	js.faults++
+	js.state = "pending"
+	js.groupID = 0
+	s.detachFromGroupLocked(f.GroupID, f.JobID)
+	s.logf("server: job %d faulted (%s); requeued", f.JobID, f.Error)
+	s.kickSchedule()
+}
+
+// detachFromGroupLocked removes a job from its group, freeing the
+// executor when the group empties. Callers hold s.mu.
+func (s *Server) detachFromGroupLocked(groupID, jobID int64) {
+	g := s.groups[groupID]
+	if g == nil {
+		return
+	}
+	var rest []int64
+	for _, id := range g.jobs {
+		if id != jobID {
+			rest = append(rest, id)
+		}
+	}
+	g.jobs = rest
+	if len(g.jobs) == 0 {
+		g.exec.free += g.gpus
+		delete(s.groups, groupID)
+	}
+}
+
+// scheduleLoop replans periodically and on events: the paper's scheduler
+// "is periodically invoked on events like job arrival and job
+// completion" (§3). Event kicks coalesce through a 1-slot channel.
+func (s *Server) scheduleLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-s.kick:
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.scheduleLocked()
+		s.mu.Unlock()
+	}
+}
+
+// kickSchedule requests an immediate scheduling round (non-blocking).
+func (s *Server) kickSchedule() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleLocked runs one scheduling round. Callers hold s.mu.
+func (s *Server) scheduleLocked() {
+	// Worker-monitor liveness: evict executors that have gone silent. A
+	// hung machine keeps its TCP connection open, so read errors alone
+	// are not enough.
+	cutoff := time.Now().Add(-s.cfg.LivenessTimeout)
+	for _, e := range s.executors {
+		if e.lastSeen.Before(cutoff) {
+			dead := e
+			s.logf("server: executor %s silent past liveness timeout", dead.id)
+			go s.dropExecutor(dead) // takes s.mu; must run outside this lock
+		}
+	}
+	// Retry profiling for jobs stuck without an executor earlier.
+	for _, js := range s.jobs {
+		if js.state == "profiling" && !s.profiling[js.spec.Model] {
+			if _, ok := s.profiles[js.spec.Model]; ok {
+				js.spec.Stages = s.profiles[js.spec.Model]
+				js.state = "pending"
+			} else {
+				s.requestProfileLocked(js.spec.Model)
+			}
+		}
+	}
+	capacity := 0
+	for _, e := range s.executors {
+		capacity += e.gpus
+	}
+	if capacity == 0 {
+		return
+	}
+	// Candidates: pending plus (for preemptive policies) running jobs.
+	var candidates []*job.Job
+	byID := make(map[job.ID]*jobState)
+	for _, js := range s.jobs {
+		if js.state == "pending" || (s.cfg.Policy.Preemptive() && js.state == "running") {
+			candidates = append(candidates, js.job)
+			byID[js.job.ID] = js
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	now := s.virtualNowLocked()
+	units := s.cfg.Policy.Plan(now, candidates, capacity)
+
+	// Decide which running groups survive (same member set) and which
+	// get killed to make room.
+	desired := make(map[string]sched.Unit)
+	for _, u := range units {
+		desired[unitKey(u)] = u
+	}
+	if s.cfg.Policy.Preemptive() {
+		for gid, g := range s.groups {
+			if _, keep := desired[g.key]; keep {
+				continue
+			}
+			s.killGroupLocked(gid)
+		}
+	}
+	running := make(map[string]bool)
+	for _, g := range s.groups {
+		running[g.key] = true
+	}
+	// Launch new units greedily in plan order onto executors with room.
+	for _, u := range units {
+		key := unitKey(u)
+		if running[key] {
+			continue
+		}
+		busy := false
+		for _, j := range u.Jobs {
+			if byID[j.ID] == nil || byID[j.ID].state == "running" || byID[j.ID].state == "done" {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		exec := s.pickExecutorLocked(u.GPUs)
+		if exec == nil {
+			continue
+		}
+		s.launchLocked(exec, u, key)
+	}
+}
+
+// pickExecutorLocked returns the executor with the least sufficient free
+// GPUs (best fit). Callers hold s.mu.
+func (s *Server) pickExecutorLocked(gpus int) *executorConn {
+	var best *executorConn
+	ids := make([]string, 0, len(s.executors))
+	for id := range s.executors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := s.executors[id]
+		if e.free >= gpus && (best == nil || e.free < best.free) {
+			best = e
+		}
+	}
+	return best
+}
+
+// launchLocked sends a Launch for unit u to exec. Callers hold s.mu.
+func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) {
+	s.nextGroup++
+	gid := s.nextGroup
+	specs := make([]proto.JobSpec, len(u.Jobs))
+	ids := make([]int64, len(u.Jobs))
+	for i, j := range u.Jobs {
+		js := s.jobs[int64(j.ID)]
+		spec := js.spec
+		spec.DoneIterations = js.job.DoneIterations
+		specs[i] = spec
+		ids[i] = int64(j.ID)
+	}
+	msg := &proto.Message{Type: proto.TypeLaunch, Launch: &proto.Launch{
+		GroupID:     gid,
+		GPUs:        u.GPUs,
+		Jobs:        specs,
+		TimeScale:   s.cfg.TimeScale,
+		ReportEvery: s.cfg.ReportEvery,
+	}}
+	if err := exec.send(msg); err != nil {
+		s.logf("server: launch to %s failed: %v", exec.id, err)
+		return
+	}
+	exec.free -= u.GPUs
+	g := &groupState{id: gid, key: key, exec: exec, gpus: u.GPUs, jobs: ids, spec: u, since: time.Now()}
+	s.groups[gid] = g
+	for _, id := range ids {
+		js := s.jobs[id]
+		js.state = "running"
+		js.groupID = gid
+		js.lastSeen = time.Now()
+		if js.job.StartedAt < 0 {
+			js.job.StartedAt = s.virtualNowLocked()
+		}
+	}
+}
+
+// killGroupLocked preempts a group: members go back to pending with
+// their current progress. Callers hold s.mu.
+func (s *Server) killGroupLocked(gid int64) {
+	g := s.groups[gid]
+	if g == nil {
+		return
+	}
+	_ = g.exec.send(&proto.Message{Type: proto.TypeKill, Kill: &proto.Kill{GroupID: gid}})
+	for _, id := range g.jobs {
+		if js := s.jobs[id]; js != nil && js.state == "running" {
+			js.state = "pending"
+			js.groupID = 0
+			js.job.Restarts++
+		}
+	}
+	g.exec.free += g.gpus
+	delete(s.groups, gid)
+}
+
+// unitKey canonically identifies a unit by its member set.
+func unitKey(u sched.Unit) string {
+	ids := make([]int, len(u.Jobs))
+	for i, j := range u.Jobs {
+		ids[i] = int(j.ID)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(u.Mode.String(), ids)
+}
+
+// status snapshots the scheduler state for clients.
+func (s *Server) status() proto.StatusAck {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ack proto.StatusAck
+	ack.Executors = len(s.executors)
+	ids := make([]int64, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var jctSum, jctMax time.Duration
+	for _, id := range ids {
+		js := s.jobs[id]
+		st := proto.JobStatus{
+			ID:             id,
+			Model:          js.spec.Model,
+			State:          js.state,
+			DoneIterations: js.job.DoneIterations,
+			Iterations:     js.spec.Iterations,
+		}
+		switch js.state {
+		case "pending", "profiling":
+			ack.Pending++
+		case "running":
+			ack.Running++
+		case "done":
+			ack.Done++
+			st.JCT = time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
+			jctSum += st.JCT
+			if st.JCT > jctMax {
+				jctMax = st.JCT
+			}
+		}
+		ack.Jobs = append(ack.Jobs, st)
+	}
+	if ack.Done > 0 {
+		ack.Extra = map[string]any{
+			"avg_jct_s": (jctSum / time.Duration(ack.Done)).Seconds(),
+			"max_jct_s": jctMax.Seconds(),
+		}
+	}
+	return ack
+}

@@ -1,0 +1,771 @@
+// Package sim is the trace-driven cluster simulator (paper §6.1). It
+// replays a job trace against a scheduling policy on a modeled GPU
+// cluster, advancing virtual time between fixed scheduling intervals (the
+// paper uses six minutes) and tracking job progress, preemption/restart
+// overhead, and the detailed metrics of Figure 8.
+//
+// The paper validates this style of simulator against its 64-GPU testbed
+// with <3% metric error; this reproduction uses the simulator for both
+// the "testbed" tables (4, 5) and the large-trace figures (9–14).
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"muri/internal/cluster"
+	"muri/internal/interleave"
+	"muri/internal/job"
+	"muri/internal/metrics"
+	"muri/internal/profile"
+	"muri/internal/sched"
+	"muri/internal/trace"
+	"muri/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Machines and GPUsPerMachine define the cluster (default 8×8, the
+	// paper's testbed).
+	Machines, GPUsPerMachine int
+	// Interval is the scheduling interval (default 6 minutes, §5).
+	Interval time.Duration
+	// RestartOverhead is the virtual time lost when a job is started or
+	// restarted in a new unit (preemption, checkpoint reload).
+	RestartOverhead time.Duration
+	// Interleave is the contention model used to execute shared units.
+	Interleave interleave.Config
+	// Profiler supplies (possibly noisy) profiles; nil means exact.
+	Profiler *profile.Profiler
+	// SampleEvery is the metrics sampling period; zero disables the
+	// detailed time series.
+	SampleEvery time.Duration
+	// MaxJobs truncates the trace for quick runs; zero runs everything.
+	MaxJobs int
+	// StarvationPatience is how many scheduling rounds a unit may be
+	// bypassed (skipped for capacity while a lower-priority unit was
+	// admitted) before it is boosted to the front of the admission order.
+	// Without it, a large multi-GPU job can starve indefinitely behind a
+	// stream of small jobs. Zero uses the default of 5 rounds.
+	StarvationPatience int
+	// EventDriven additionally reschedules at job arrivals and
+	// completions (the paper's §3: "periodically invoked on events like
+	// job arrival and job completion"), instead of only at fixed
+	// intervals (§5 prototype behavior, the default).
+	EventDriven bool
+	// RecordTimeline captures per-job lifecycle events (start, restart,
+	// finish) into Result.Timeline for post-hoc analysis.
+	RecordTimeline bool
+	// Debug, when non-nil, receives a one-line summary of every
+	// scheduling decision (useful for diagnosing placement behaviour).
+	Debug io.Writer
+}
+
+// DefaultConfig returns the paper's testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machines:        8,
+		GPUsPerMachine:  8,
+		Interval:        6 * time.Minute,
+		RestartOverhead: 30 * time.Second,
+		Interleave:      interleave.DefaultConfig,
+	}
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Summary holds the end-of-run metrics.
+	Summary metrics.Summary
+	// Series is the detailed time series (empty unless SampleEvery set).
+	Series metrics.Series
+	// Jobs are the completed jobs with full progress history.
+	Jobs []*job.Job
+	// Preemptions counts unit restarts across the run.
+	Preemptions int
+	// Timeline holds per-job lifecycle events (with RecordTimeline).
+	Timeline []Event
+}
+
+// Event is one job-lifecycle event in a run's timeline.
+type Event struct {
+	// Time is the virtual timestamp.
+	Time time.Duration
+	// Kind is "submit", "start", "restart", or "finish".
+	Kind string
+	// Job identifies the job.
+	Job job.ID
+	// Unit names the unit the job runs in (member IDs), empty on submit
+	// and finish events.
+	Unit string
+}
+
+// unit is a placed schedulable unit at run time.
+type unit struct {
+	spec  sched.Unit
+	alloc cluster.Alloc
+	// readyAt is when execution (re)starts after restart overhead.
+	readyAt time.Duration
+	// iterTime is the per-member iteration duration: interleaved units
+	// share one group iteration time; space-shared and exclusive units
+	// have per-member times.
+	iterTime []time.Duration
+	// carry is the fractional-iteration progress per member.
+	carry []float64
+}
+
+// key identifies a unit by its member set, so the simulator can detect
+// composition changes across intervals (which force restarts).
+func unitKey(u sched.Unit) string {
+	ids := make([]string, len(u.Jobs))
+	for i, j := range u.Jobs {
+		ids[i] = fmt.Sprint(j.ID)
+	}
+	sort.Strings(ids)
+	return u.Mode.String() + ":" + strings.Join(ids, ",")
+}
+
+// memberIterTimes computes each member's effective iteration time under
+// the unit's sharing mode.
+func memberIterTimes(u sched.Unit, cfg interleave.Config) []time.Duration {
+	switch u.Mode {
+	case sched.Exclusive:
+		return []time.Duration{u.Jobs[0].SerialIterTime()}
+	case sched.Interleaved:
+		times := make([]workload.StageTimes, len(u.Jobs))
+		for i, j := range u.Jobs {
+			times[i] = j.TrueProfile
+		}
+		T := interleave.IterationTime(cfg.Inflate(times))
+		out := make([]time.Duration, len(u.Jobs))
+		for i := range out {
+			out[i] = T
+		}
+		return out
+	case sched.SpaceShared:
+		out := make([]time.Duration, len(u.Jobs))
+		for i, j := range u.Jobs {
+			others := make([]workload.StageTimes, 0, len(u.Jobs)-1)
+			for k, o := range u.Jobs {
+				if k != i {
+					others = append(others, o.TrueProfile)
+				}
+			}
+			slow := sched.SpaceSharedSlowdown(j.TrueProfile, others)
+			out[i] = time.Duration(float64(j.SerialIterTime()) * slow)
+		}
+		return out
+	default:
+		panic("sim: unknown unit mode")
+	}
+}
+
+// sim is the run state.
+type sim struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	policy  sched.Policy
+
+	now     time.Duration
+	pending []*job.Job // submitted, not running
+	arrived int        // index into all (sorted by submit)
+	all     []*job.Job
+	running []*unit
+	done    []*job.Job
+
+	series      metrics.Series
+	nextSample  time.Duration
+	preemptions int
+	prevKeys    map[job.ID]string
+	// bypassed counts consecutive scheduling rounds in which a job's unit
+	// was skipped for capacity while a lower-priority unit was admitted.
+	bypassed map[job.ID]int
+	timeline []Event
+}
+
+// record appends a timeline event when recording is enabled.
+func (s *sim) record(kind string, id job.ID, unit string) {
+	if s.cfg.RecordTimeline {
+		s.timeline = append(s.timeline, Event{Time: s.now, Kind: kind, Job: id, Unit: unit})
+	}
+}
+
+// Run simulates the trace under the policy and returns the result.
+func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
+	if cfg.Machines <= 0 || cfg.GPUsPerMachine <= 0 {
+		panic("sim: cluster dimensions must be positive")
+	}
+	if cfg.Interval <= 0 {
+		panic("sim: scheduling interval must be positive")
+	}
+	if cfg.StarvationPatience <= 0 {
+		cfg.StarvationPatience = 5
+	}
+	s := &sim{
+		cfg:      cfg,
+		cluster:  cluster.New(cfg.Machines, cfg.GPUsPerMachine),
+		policy:   policy,
+		prevKeys: make(map[job.ID]string),
+		bypassed: make(map[job.ID]int),
+	}
+	s.buildJobs(tr)
+	s.loop()
+	return Result{
+		Policy:      policy.Name(),
+		Summary:     metrics.Summarize(s.done),
+		Series:      s.series,
+		Jobs:        s.done,
+		Preemptions: s.preemptions,
+		Timeline:    s.timeline,
+	}
+}
+
+// buildJobs materializes jobs from trace specs: iteration counts derive
+// from the trace duration and the model's serial iteration time, exactly
+// as the paper does ("the number of training iterations is calculated
+// according to the duration of the jobs and the average time of one
+// iteration", §6.1).
+func (s *sim) buildJobs(tr trace.Trace) {
+	specs := tr.Specs
+	if s.cfg.MaxJobs > 0 && len(specs) > s.cfg.MaxJobs {
+		specs = specs[:s.cfg.MaxJobs]
+	}
+	capGPUs := s.cfg.Machines * s.cfg.GPUsPerMachine
+	for _, spec := range specs {
+		m, err := workload.ByName(spec.Model)
+		if err != nil {
+			panic(err)
+		}
+		gpus := spec.GPUs
+		if gpus > capGPUs {
+			gpus = capGPUs
+		}
+		iters := int64(spec.Duration / m.Stages.Total())
+		if iters < 1 {
+			iters = 1
+		}
+		j := job.New(job.ID(spec.ID), m, gpus, iters, spec.Submit)
+		if s.cfg.Profiler != nil {
+			j.Profile = s.cfg.Profiler.Profile(m)
+		}
+		s.all = append(s.all, j)
+	}
+	sort.SliceStable(s.all, func(i, k int) bool { return s.all[i].Submit < s.all[k].Submit })
+}
+
+// loop drives virtual time: admit arrivals, run the policy, advance
+// execution to the next scheduling point, repeat until every job is done.
+func (s *sim) loop() {
+	if len(s.all) == 0 {
+		return
+	}
+	s.now = s.all[0].Submit
+	for len(s.done) < len(s.all) {
+		s.admitArrivals()
+		s.schedule()
+		next := s.now + s.cfg.Interval
+		if s.cfg.EventDriven {
+			// Wake early for the next arrival or the earliest completion.
+			if s.arrived < len(s.all) {
+				if a := s.all[s.arrived].Submit; a > s.now && a < next {
+					next = a
+				}
+			}
+			if c, ok := s.earliestCompletion(); ok && c < next {
+				next = c
+			}
+			if next <= s.now {
+				next = s.now + time.Millisecond
+			}
+		}
+		// Fast-forward across idle gaps: if nothing is running and the
+		// queue is empty, jump to the next arrival.
+		if len(s.running) == 0 && len(s.pending) == 0 && s.arrived < len(s.all) {
+			if a := s.all[s.arrived].Submit; a > next {
+				next = a
+			}
+		}
+		s.advance(next)
+		s.now = next
+	}
+}
+
+// earliestCompletion predicts the soonest member completion across all
+// running units, for event-driven rescheduling.
+func (s *sim) earliestCompletion() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, u := range s.running {
+		start := s.now
+		if u.readyAt > start {
+			start = u.readyAt
+		}
+		for i, j := range u.spec.Jobs {
+			if j.State == job.Done || u.iterTime[i] <= 0 {
+				continue
+			}
+			remaining := float64(j.RemainingIterations()) - u.carry[i]
+			if remaining < 0 {
+				remaining = 0
+			}
+			at := start + time.Duration(remaining*float64(u.iterTime[i]))
+			if !found || at < best {
+				best, found = at, true
+			}
+		}
+	}
+	return best, found
+}
+
+// admitArrivals moves jobs whose submit time has passed into the queue.
+func (s *sim) admitArrivals() {
+	for s.arrived < len(s.all) && s.all[s.arrived].Submit <= s.now {
+		s.record("submit", s.all[s.arrived].ID, "")
+		s.pending = append(s.pending, s.all[s.arrived])
+		s.arrived++
+	}
+}
+
+// schedule invokes the policy and (re)places units.
+func (s *sim) schedule() {
+	var candidates []*job.Job
+	if s.policy.Preemptive() {
+		// Preemptive policies reconsider everything unfinished.
+		candidates = append(candidates, s.pending...)
+		for _, u := range s.running {
+			candidates = append(candidates, u.spec.Jobs...)
+		}
+	} else {
+		candidates = append(candidates, s.pending...)
+	}
+	units := s.policy.Plan(s.now, candidates, s.cluster.TotalGPUs())
+
+	// Remember per-job fractional progress so continuing jobs lose no
+	// partial iterations across intervals.
+	oldCarry := make(map[job.ID]float64)
+	for _, u := range s.running {
+		for i, j := range u.spec.Jobs {
+			oldCarry[j.ID] = u.carry[i]
+		}
+	}
+	if s.policy.Preemptive() {
+		s.cluster.Reset()
+		s.running = nil
+	}
+	var placed []*unit
+	placedJobs := make(map[job.ID]bool)
+	for _, u := range s.running { // non-preemptive: keep current units
+		for _, j := range u.spec.Jobs {
+			placedJobs[j.ID] = true
+		}
+		placed = append(placed, u)
+	}
+	// Anti-starvation: units whose members have been bypassed too many
+	// rounds jump to the front of the admission order (stable within each
+	// class), so a large multi-GPU unit cannot be blocked forever by a
+	// stream of small higher-priority units.
+	starving := func(spec sched.Unit) bool {
+		for _, j := range spec.Jobs {
+			if s.bypassed[j.ID] >= s.cfg.StarvationPatience {
+				return true
+			}
+		}
+		return false
+	}
+	orderedUnits := make([]sched.Unit, 0, len(units))
+	for _, spec := range units {
+		if starving(spec) {
+			orderedUnits = append(orderedUnits, spec)
+		}
+	}
+	for _, spec := range units {
+		if !starving(spec) {
+			orderedUnits = append(orderedUnits, spec)
+		}
+	}
+	// Admission: walk in priority order, admitting units that fit in the
+	// remaining capacity. Units skipped for capacity while a later unit
+	// is admitted accumulate a bypass count.
+	free := s.cluster.FreeGPUs()
+	var admitted []sched.Unit
+	var skipped []sched.Unit
+	bumped := make(map[job.ID]bool)
+	claimed := make(map[job.ID]bool)
+	for id := range placedJobs {
+		claimed[id] = true
+	}
+	for _, spec := range orderedUnits {
+		conflict := false
+		for _, j := range spec.Jobs {
+			if claimed[j.ID] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		if spec.GPUs > free {
+			skipped = append(skipped, spec)
+			continue
+		}
+		free -= spec.GPUs
+		admitted = append(admitted, spec)
+		for _, j := range spec.Jobs {
+			claimed[j.ID] = true
+		}
+		for _, sk := range skipped {
+			for _, j := range sk.Jobs {
+				if !bumped[j.ID] {
+					bumped[j.ID] = true
+					s.bypassed[j.ID]++
+				}
+			}
+		}
+		skipped = skipped[:0]
+	}
+	// Allocation: place admitted units in descending GPU order so large
+	// units claim whole machines before small units fragment them (§5).
+	sort.SliceStable(admitted, func(i, k int) bool { return admitted[i].GPUs > admitted[k].GPUs })
+	for _, spec := range admitted {
+		alloc, ok := s.cluster.Allocate(spec.GPUs)
+		if !ok {
+			continue // fragmentation despite descending order; rare
+		}
+		u := &unit{
+			spec:     spec,
+			alloc:    alloc,
+			readyAt:  s.now,
+			iterTime: memberIterTimes(spec, s.cfg.Interleave),
+			carry:    make([]float64, len(spec.Jobs)),
+		}
+		key := unitKey(spec)
+		for i, j := range spec.Jobs {
+			if s.prevKeys[j.ID] == key {
+				u.carry[i] = oldCarry[j.ID]
+			}
+		}
+		restart := false
+		for _, j := range spec.Jobs {
+			prev, wasRunning := s.prevKeys[j.ID]
+			if j.StartedAt < 0 {
+				j.StartedAt = s.now
+				s.record("start", j.ID, key)
+			} else if !wasRunning || prev != key {
+				// Either the job resumes after preemption or its unit's
+				// composition changed — both restart the worker process.
+				restart = true
+				j.Restarts++
+				s.record("restart", j.ID, key)
+			}
+		}
+		if restart && s.cfg.RestartOverhead > 0 {
+			u.readyAt = s.now + s.cfg.RestartOverhead
+			s.preemptions++
+		}
+		for _, j := range spec.Jobs {
+			j.State = job.Running
+			placedJobs[j.ID] = true
+		}
+		placed = append(placed, u)
+	}
+	s.running = placed
+	// Rebuild the pending queue and the placement memory.
+	s.prevKeys = make(map[job.ID]string, len(placedJobs))
+	var newPending []*job.Job
+	for _, j := range s.pending {
+		if !placedJobs[j.ID] {
+			j.State = job.Pending
+			newPending = append(newPending, j)
+		}
+	}
+	if s.policy.Preemptive() {
+		// Preempted-but-not-replaced jobs rejoin the queue.
+		seen := make(map[job.ID]bool)
+		for _, j := range newPending {
+			seen[j.ID] = true
+		}
+		for _, j := range candidates {
+			if !placedJobs[j.ID] && !seen[j.ID] && j.State != job.Done {
+				j.State = job.Pending
+				newPending = append(newPending, j)
+				seen[j.ID] = true
+			}
+		}
+		sort.SliceStable(newPending, func(i, k int) bool {
+			return newPending[i].Submit < newPending[k].Submit
+		})
+	}
+	s.pending = newPending
+	for _, u := range s.running {
+		key := unitKey(u.spec)
+		for _, j := range u.spec.Jobs {
+			s.prevKeys[j.ID] = key
+			delete(s.bypassed, j.ID) // running resets starvation credit
+		}
+	}
+	if s.cfg.Debug != nil {
+		demand := 0
+		for _, j := range candidates {
+			demand += j.GPUs
+		}
+		unitGPUs, unitJobs := 0, 0
+		sizeHist := make(map[int]int)
+		for _, u := range units {
+			unitGPUs += u.GPUs
+			unitJobs += len(u.Jobs)
+			sizeHist[len(u.Jobs)]++
+		}
+		running := 0
+		for _, u := range s.running {
+			running += len(u.spec.Jobs)
+		}
+		fmt.Fprintf(s.cfg.Debug,
+			"t=%v cand=%d demand=%d plannedUnits=%d(gpus=%d jobs=%d hist=%v) placed=%d running=%d used=%d pending=%d\n",
+			s.now.Round(time.Second), len(candidates), demand, len(units), unitGPUs, unitJobs,
+			sizeHist, len(s.running), running, s.cluster.UsedGPUs(), len(s.pending))
+	}
+}
+
+// advance simulates execution from s.now to deadline, handling member
+// completions (which speed up the survivors) and metric sampling.
+func (s *sim) advance(deadline time.Duration) {
+	if s.cfg.SampleEvery > 0 {
+		for s.nextSample <= deadline {
+			if s.nextSample >= s.now {
+				s.sample(s.nextSample)
+			}
+			s.nextSample += s.cfg.SampleEvery
+		}
+	}
+	for _, u := range s.running {
+		s.advanceUnit(u, s.now, deadline)
+	}
+	// Drop units whose members all finished; release their GPUs.
+	var still []*unit
+	for _, u := range s.running {
+		var live []*job.Job
+		var liveTimes []time.Duration
+		var liveCarry []float64
+		for i, j := range u.spec.Jobs {
+			if j.State != job.Done {
+				live = append(live, j)
+				liveTimes = append(liveTimes, u.iterTime[i])
+				liveCarry = append(liveCarry, u.carry[i])
+			}
+		}
+		if len(live) == 0 {
+			s.cluster.Release(u.alloc)
+			continue
+		}
+		u.spec.Jobs = live
+		u.iterTime = liveTimes
+		u.carry = liveCarry
+		still = append(still, u)
+	}
+	s.running = still
+}
+
+// advanceUnit advances one unit over [from, to], processing completions
+// one at a time because each completion changes the survivors' speed.
+func (s *sim) advanceUnit(u *unit, from, to time.Duration) {
+	if u.readyAt > from {
+		from = u.readyAt
+	}
+	if from >= to {
+		return
+	}
+	for {
+		live := liveMembers(u)
+		if len(live) == 0 {
+			return
+		}
+		// Find the earliest completion among live members.
+		first := -1
+		var firstAt time.Duration
+		for _, i := range live {
+			j := u.spec.Jobs[i]
+			remaining := float64(j.RemainingIterations()) - u.carry[i]
+			if remaining < 0 {
+				remaining = 0
+			}
+			at := from + time.Duration(remaining*float64(u.iterTime[i]))
+			if first == -1 || at < firstAt {
+				first = i
+				firstAt = at
+			}
+		}
+		if firstAt > to {
+			// No completion before the deadline: advance everyone.
+			s.credit(u, live, from, to)
+			return
+		}
+		// Advance to the completion instant, finish that job, recompute
+		// the survivors' iteration times, and continue.
+		s.credit(u, live, from, firstAt)
+		j := u.spec.Jobs[first]
+		j.DoneIterations = j.Iterations
+		j.State = job.Done
+		j.FinishedAt = firstAt
+		s.done = append(s.done, j)
+		if s.cfg.RecordTimeline {
+			s.timeline = append(s.timeline, Event{Time: firstAt, Kind: "finish", Job: j.ID})
+		}
+		// Policies that learn from completions (e.g. the Gittins index)
+		// observe the job's 2D service demand.
+		if obs, ok := s.policy.(interface{ Observe(time.Duration) }); ok {
+			obs.Observe(time.Duration(float64(j.Attained) * float64(j.GPUs)))
+		}
+		from = firstAt
+		s.retime(u)
+		if from >= to {
+			return
+		}
+	}
+}
+
+// liveMembers returns the indices of unfinished members.
+func liveMembers(u *unit) []int {
+	var out []int
+	for i, j := range u.spec.Jobs {
+		if j.State != job.Done {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// credit advances live members by the elapsed window.
+func (s *sim) credit(u *unit, live []int, from, to time.Duration) {
+	dt := to - from
+	if dt <= 0 {
+		return
+	}
+	for _, i := range live {
+		j := u.spec.Jobs[i]
+		if u.iterTime[i] <= 0 {
+			continue
+		}
+		u.carry[i] += float64(dt) / float64(u.iterTime[i])
+		whole := int64(u.carry[i])
+		if whole > 0 {
+			j.Advance(whole, 0)
+			u.carry[i] -= float64(whole)
+		}
+		j.Attained += dt
+	}
+}
+
+// retime recomputes member iteration times after a completion shrinks the
+// unit (survivors speed up: fewer members to interleave or contend with).
+func (s *sim) retime(u *unit) {
+	var live []*job.Job
+	for _, j := range u.spec.Jobs {
+		if j.State != job.Done {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	mode := u.spec.Mode
+	if len(live) == 1 {
+		mode = sched.Exclusive
+	}
+	shrunk := sched.Unit{Jobs: live, GPUs: u.spec.GPUs, Mode: mode}
+	times := memberIterTimes(shrunk, s.cfg.Interleave)
+	k := 0
+	for i, j := range u.spec.Jobs {
+		if j.State != job.Done {
+			u.iterTime[i] = times[k]
+			k++
+		}
+	}
+}
+
+// sample records one point of the Figure 8 time series.
+func (s *sim) sample(at time.Duration) {
+	var pending []*job.Job
+	for _, j := range s.pending {
+		if j.State == job.Pending {
+			pending = append(pending, j)
+		}
+	}
+	sm := metrics.Sample{
+		Time:          at,
+		QueueLen:      len(pending),
+		BlockingIndex: metrics.BlockingIndex(pending, at),
+		UsedGPUs:      s.cluster.UsedGPUs(),
+	}
+	for _, u := range s.running {
+		for _, j := range u.spec.Jobs {
+			if j.State == job.Running {
+				sm.RunningJobs++
+			}
+		}
+	}
+	total := float64(s.cluster.TotalGPUs())
+	for _, u := range s.running {
+		if u.readyAt > at {
+			continue
+		}
+		share := float64(u.spec.GPUs) / total
+		busy := unitBusyFractions(u, s.cfg.Interleave)
+		for r := 0; r < workload.NumResources; r++ {
+			sm.Util[r] += share * busy[r]
+		}
+	}
+	s.series = append(s.series, sm)
+}
+
+// unitBusyFractions returns, per resource type, the fraction of the
+// unit's iteration during which the resource is in use.
+func unitBusyFractions(u *unit, cfg interleave.Config) [workload.NumResources]float64 {
+	var out [workload.NumResources]float64
+	var live []*job.Job
+	for _, j := range u.spec.Jobs {
+		if j.State != job.Done {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return out
+	}
+	switch u.spec.Mode {
+	case sched.Interleaved:
+		times := make([]workload.StageTimes, len(live))
+		for i, j := range live {
+			times[i] = j.TrueProfile
+		}
+		inflated := cfg.Inflate(times)
+		T := interleave.IterationTime(inflated)
+		if T == 0 {
+			return out
+		}
+		for r := 0; r < workload.NumResources; r++ {
+			var used time.Duration
+			for _, t := range inflated {
+				used += t[r]
+			}
+			f := float64(used) / float64(T)
+			if f > 1 {
+				f = 1
+			}
+			out[r] = f
+		}
+	default:
+		// Exclusive and space-shared: average the members' own busy
+		// fractions (space sharing does not overlap stages in time).
+		for _, j := range live {
+			fr := j.TrueProfile.Fractions()
+			for r := 0; r < workload.NumResources; r++ {
+				out[r] += fr[r] / float64(len(live))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"muri/internal/interleave"
+	"muri/internal/job"
+	"muri/internal/metrics"
+	"muri/internal/profile"
+	"muri/internal/sched"
+	"muri/internal/trace"
+	"muri/internal/workload"
+)
+
+// quickCfg is a small, fast configuration used throughout the tests.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Machines = 2
+	cfg.GPUsPerMachine = 8
+	cfg.Interval = time.Minute
+	cfg.RestartOverhead = 5 * time.Second
+	return cfg
+}
+
+// spec builds a trace spec.
+func spec(id int, submit, dur time.Duration, gpus int, model string) trace.Spec {
+	return trace.Spec{ID: int64(id), Submit: submit, Duration: dur, GPUs: gpus, Model: model}
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	tr := trace.Trace{Name: "t", Specs: []trace.Spec{
+		spec(0, 0, 10*time.Minute, 1, "gpt2"),
+	}}
+	res := Run(quickCfg(), tr, sched.FIFO())
+	if len(res.Jobs) != 1 {
+		t.Fatalf("completed %d jobs, want 1", len(res.Jobs))
+	}
+	j := res.Jobs[0]
+	if j.State != job.Done {
+		t.Fatalf("job state = %v, want done", j.State)
+	}
+	// JCT should be close to the trace duration (within one interval).
+	if j.JCT() < 9*time.Minute || j.JCT() > 12*time.Minute {
+		t.Errorf("JCT = %v, want ≈10m", j.JCT())
+	}
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 60, Seed: 5, MaxGPUs: 8,
+		MeanInterarrival: 20 * time.Second,
+		MedianDuration:   8 * time.Minute,
+		MaxDuration:      30 * time.Minute,
+	})
+	for _, p := range []sched.Policy{
+		sched.FIFO(), sched.SRTF(), sched.SRSF(), sched.Tiresias(),
+		sched.Themis(), sched.AntMan{}, sched.NewMuriS(), sched.NewMuriL(),
+	} {
+		res := Run(quickCfg(), tr, p)
+		if len(res.Jobs) != 60 {
+			t.Errorf("%s: completed %d jobs, want 60", p.Name(), len(res.Jobs))
+		}
+		if res.Summary.Makespan <= 0 || res.Summary.AvgJCT <= 0 {
+			t.Errorf("%s: degenerate summary %+v", p.Name(), res.Summary)
+		}
+		for _, j := range res.Jobs {
+			if j.FinishedAt < j.Submit {
+				t.Errorf("%s: job %d finished before submission", p.Name(), j.ID)
+			}
+			if j.DoneIterations != j.Iterations {
+				t.Errorf("%s: job %d incomplete: %d/%d", p.Name(), j.ID, j.DoneIterations, j.Iterations)
+			}
+		}
+	}
+}
+
+func TestMuriBeatsExclusiveBaselineOnMixedLoad(t *testing.T) {
+	// Heavily loaded queue of complementary jobs: Muri should deliver a
+	// clearly better average JCT and makespan than exclusive SRTF —
+	// the core claim of the paper.
+	var specs []trace.Spec
+	models := []string{"shufflenet", "a2c", "gpt2", "vgg16"}
+	for i := 0; i < 64; i++ {
+		specs = append(specs, spec(i, 0, 20*time.Minute, 1, models[i%4]))
+	}
+	tr := trace.Trace{Name: "mixed", Specs: specs}
+	cfg := quickCfg()
+	srtf := Run(cfg, tr, sched.SRTF())
+	muri := Run(cfg, tr, sched.NewMuriS())
+	jctSpeedup := metrics.Speedup(srtf.Summary.AvgJCT, muri.Summary.AvgJCT)
+	msSpeedup := metrics.Speedup(srtf.Summary.Makespan, muri.Summary.Makespan)
+	// With uniform 20-minute jobs the theoretical JCT gain is bounded
+	// (~1.25× for 2× aggregate throughput); makespan shows the full win.
+	if jctSpeedup < 1.15 {
+		t.Errorf("Muri JCT speedup = %.2f×, want > 1.15×", jctSpeedup)
+	}
+	if msSpeedup < 1.5 {
+		t.Errorf("Muri makespan speedup = %.2f×, want > 1.5×", msSpeedup)
+	}
+}
+
+func TestSRSFOrderingAffectsJCT(t *testing.T) {
+	// One long job then many short jobs: FIFO suffers HOL blocking, SRSF
+	// does not.
+	var specs []trace.Spec
+	specs = append(specs, spec(0, 0, 4*time.Hour, 16, "gpt2"))
+	for i := 1; i <= 20; i++ {
+		specs = append(specs, spec(i, time.Second, 5*time.Minute, 16, "gpt2"))
+	}
+	tr := trace.Trace{Name: "hol", Specs: specs}
+	cfg := quickCfg()
+	fifo := Run(cfg, tr, sched.FIFO())
+	srsf := Run(cfg, tr, sched.SRSF())
+	if srsf.Summary.AvgJCT >= fifo.Summary.AvgJCT {
+		t.Errorf("SRSF avg JCT %v should beat FIFO %v under HOL blocking",
+			srsf.Summary.AvgJCT, fifo.Summary.AvgJCT)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 80, Seed: 8, MaxGPUs: 16,
+		MeanInterarrival: 5 * time.Second,
+		MedianDuration:   10 * time.Minute,
+		MaxDuration:      time.Hour,
+	})
+	cfg := quickCfg()
+	cfg.SampleEvery = time.Minute
+	res := Run(cfg, tr, sched.NewMuriL())
+	for _, s := range res.Series {
+		for r := 0; r < workload.NumResources; r++ {
+			if s.Util[r] < 0 || s.Util[r] > 1.0001 {
+				t.Fatalf("utilization out of range at %v: %v", s.Time, s.Util)
+			}
+		}
+		if s.QueueLen < 0 {
+			t.Fatalf("negative queue length at %v", s.Time)
+		}
+	}
+}
+
+func TestSeriesSampled(t *testing.T) {
+	tr := trace.Trace{Name: "t", Specs: []trace.Spec{
+		spec(0, 0, 30*time.Minute, 1, "bert"),
+	}}
+	cfg := quickCfg()
+	cfg.SampleEvery = time.Minute
+	res := Run(cfg, tr, sched.FIFO())
+	if len(res.Series) < 10 {
+		t.Errorf("series has %d samples, want ≥ 10 over a 30m run", len(res.Series))
+	}
+	// Utilization is cluster-wide: one GPU-bound job on a 16-GPU cluster
+	// contributes ≈ (1/16)·0.71. GPU must still dominate the other types.
+	s := res.Series[3]
+	for r := workload.Resource(0); r < workload.NumResources; r++ {
+		if r != workload.GPU && s.Util[r] >= s.Util[workload.GPU] {
+			t.Errorf("util[%v] = %v ≥ util[gpu] = %v while bert runs", r, s.Util[r], s.Util[workload.GPU])
+		}
+	}
+	if s.Util[workload.GPU] < 0.03 {
+		t.Errorf("GPU util = %v, want ≈ 0.044 (1/16 of cluster × 0.71)", s.Util[workload.GPU])
+	}
+}
+
+func TestRestartOverheadCountsPreemptions(t *testing.T) {
+	// A short job arriving later preempts the long job under SRSF (its
+	// remaining time is shorter), forcing at least one restart.
+	var specs []trace.Spec
+	for i := 0; i < 16; i++ {
+		specs = append(specs, spec(i, 0, 3*time.Hour, 2, "bert"))
+	}
+	for i := 16; i < 32; i++ {
+		specs = append(specs, spec(i, 30*time.Minute, 5*time.Minute, 2, "shufflenet"))
+	}
+	tr := trace.Trace{Name: "t", Specs: specs}
+	res := Run(quickCfg(), tr, sched.SRSF())
+	if res.Preemptions == 0 {
+		t.Error("expected preemptions under SRSF with late short jobs")
+	}
+	restarts := 0
+	for _, j := range res.Jobs {
+		restarts += j.Restarts
+	}
+	if restarts == 0 {
+		t.Error("expected at least one job restart")
+	}
+}
+
+func TestProfilingNoiseDegradesButCompletes(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 50, Seed: 4, MaxGPUs: 8,
+		MeanInterarrival: 10 * time.Second,
+		MedianDuration:   10 * time.Minute,
+		MaxDuration:      time.Hour,
+	})
+	cfg := quickCfg()
+	cfg.Profiler = profile.New(1.0, 99)
+	res := Run(cfg, tr, sched.NewMuriL())
+	if len(res.Jobs) != 50 {
+		t.Errorf("noisy run completed %d jobs, want 50", len(res.Jobs))
+	}
+}
+
+func TestGPURequestClampedToCluster(t *testing.T) {
+	tr := trace.Trace{Name: "t", Specs: []trace.Spec{
+		spec(0, 0, 10*time.Minute, 64, "gpt2"), // larger than the 16-GPU cluster
+	}}
+	res := Run(quickCfg(), tr, sched.FIFO())
+	if len(res.Jobs) != 1 {
+		t.Fatalf("oversized job did not complete")
+	}
+	if res.Jobs[0].GPUs != 16 {
+		t.Errorf("job GPUs = %d, want clamped to 16", res.Jobs[0].GPUs)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := Run(quickCfg(), trace.Trace{Name: "empty"}, sched.FIFO())
+	if len(res.Jobs) != 0 || res.Summary.Jobs != 0 {
+		t.Errorf("empty trace produced %+v", res.Summary)
+	}
+}
+
+func TestMaxJobsTruncation(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{Name: "t", Jobs: 100, Seed: 6,
+		MedianDuration: 5 * time.Minute, MaxDuration: 10 * time.Minute, MaxGPUs: 8})
+	cfg := quickCfg()
+	cfg.MaxJobs = 10
+	res := Run(cfg, tr, sched.FIFO())
+	if len(res.Jobs) != 10 {
+		t.Errorf("completed %d jobs, want 10 with MaxJobs", len(res.Jobs))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{Name: "t", Jobs: 40, Seed: 11, MaxGPUs: 8,
+		MeanInterarrival: 15 * time.Second, MedianDuration: 8 * time.Minute, MaxDuration: 40 * time.Minute})
+	a := Run(quickCfg(), tr, sched.NewMuriS())
+	b := Run(quickCfg(), tr, sched.NewMuriS())
+	if a.Summary != b.Summary {
+		t.Errorf("nondeterministic summaries:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+func TestInterleavedGroupSpeedsUpWhenMemberFinishes(t *testing.T) {
+	// Two complementary jobs, one much shorter: after the short one
+	// completes, the survivor should finish roughly as fast as solo
+	// execution would from that point.
+	short := spec(0, 0, 5*time.Minute, 1, "a2c")
+	long := spec(1, 0, 30*time.Minute, 1, "gpt2")
+	tr := trace.Trace{Name: "t", Specs: []trace.Spec{short, long}}
+	cfg := quickCfg()
+	cfg.Interleave = interleave.Config{} // ideal: no contention
+	res := Run(cfg, tr, sched.NewMuriS())
+	var longJCT time.Duration
+	for _, j := range res.Jobs {
+		if j.ID == 1 {
+			longJCT = j.JCT()
+		}
+	}
+	// gpt2 interleaved with a2c overlaps nearly perfectly (CPU vs GPU), so
+	// the long job should finish within ~25% of its solo duration.
+	if longJCT > 40*time.Minute {
+		t.Errorf("long job JCT = %v, want < 40m (interleaving ≈ no slowdown)", longJCT)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	tr := trace.Trace{Name: "t"}
+	for name, cfg := range map[string]Config{
+		"zero machines": {GPUsPerMachine: 8, Interval: time.Minute},
+		"zero interval": {Machines: 1, GPUsPerMachine: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Run should panic", name)
+				}
+			}()
+			Run(cfg, tr, sched.FIFO())
+		}()
+	}
+}
+
+func TestAntManSharingRunsMoreConcurrently(t *testing.T) {
+	// All jobs identical and GPU-bound: AntMan shares GPUs but pays ~2×
+	// slowdown, so its makespan should be no better than FIFO's; with
+	// complementary jobs, sharing should help makespan.
+	mixed := func() trace.Trace {
+		var specs []trace.Spec
+		models := []string{"shufflenet", "gpt2"}
+		for i := 0; i < 32; i++ {
+			specs = append(specs, spec(i, 0, 20*time.Minute, 1, models[i%2]))
+		}
+		return trace.Trace{Name: "m", Specs: specs}
+	}
+	cfg := quickCfg()
+	fifo := Run(cfg, mixed(), sched.FIFO())
+	antman := Run(cfg, mixed(), sched.AntMan{})
+	if antman.Summary.Makespan >= fifo.Summary.Makespan {
+		t.Errorf("AntMan makespan %v should beat FIFO %v on complementary jobs",
+			antman.Summary.Makespan, fifo.Summary.Makespan)
+	}
+}
+
+func TestEventDrivenScheduling(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 40, Seed: 17, MaxGPUs: 8,
+		MeanInterarrival: 30 * time.Second,
+		MedianDuration:   10 * time.Minute,
+		MaxDuration:      time.Hour,
+	})
+	interval := Run(quickCfg(), tr, sched.SRSF())
+	edCfg := quickCfg()
+	edCfg.EventDriven = true
+	event := Run(edCfg, tr, sched.SRSF())
+	if len(event.Jobs) != 40 {
+		t.Fatalf("event-driven completed %d jobs, want 40", len(event.Jobs))
+	}
+	// Reacting to arrivals and completions immediately should not be
+	// meaningfully worse than fixed intervals.
+	if float64(event.Summary.AvgJCT) > 1.1*float64(interval.Summary.AvgJCT) {
+		t.Errorf("event-driven avg JCT %v much worse than interval-driven %v",
+			event.Summary.AvgJCT, interval.Summary.AvgJCT)
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 20, Seed: 19, MaxGPUs: 8,
+		MeanInterarrival: 30 * time.Second,
+		MedianDuration:   8 * time.Minute,
+		MaxDuration:      30 * time.Minute,
+	})
+	cfg := quickCfg()
+	cfg.RecordTimeline = true
+	res := Run(cfg, tr, sched.SRSF())
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline events recorded")
+	}
+	kinds := make(map[string]int)
+	perJob := make(map[job.ID]map[string]int)
+	var prev time.Duration
+	for _, e := range res.Timeline {
+		if e.Time < prev {
+			t.Fatalf("timeline out of order: %v after %v", e.Time, prev)
+		}
+		prev = e.Time
+		kinds[e.Kind]++
+		if perJob[e.Job] == nil {
+			perJob[e.Job] = make(map[string]int)
+		}
+		perJob[e.Job][e.Kind]++
+	}
+	if kinds["submit"] != 20 || kinds["start"] != 20 || kinds["finish"] != 20 {
+		t.Errorf("event counts = %v, want 20 submits/starts/finishes", kinds)
+	}
+	for id, k := range perJob {
+		if k["submit"] != 1 || k["start"] != 1 || k["finish"] != 1 {
+			t.Errorf("job %d events = %v, want exactly one of each lifecycle kind", id, k)
+		}
+	}
+	// Default runs record nothing.
+	res = Run(quickCfg(), tr, sched.SRSF())
+	if len(res.Timeline) != 0 {
+		t.Errorf("timeline recorded without RecordTimeline: %d events", len(res.Timeline))
+	}
+}
+
+func TestWorkConservationProperty(t *testing.T) {
+	// Invariant: every completed job's attained service is at least its
+	// exclusive serial run time (sharing slows jobs down, never speeds a
+	// single job beyond solo execution), and its JCT is at least the
+	// attained service minus queueing... more precisely JCT ≥ serial time.
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 60, Seed: 23, MaxGPUs: 8,
+		MeanInterarrival: 15 * time.Second,
+		MedianDuration:   8 * time.Minute,
+		MaxDuration:      30 * time.Minute,
+	})
+	for _, p := range []sched.Policy{sched.SRSF(), sched.NewMuriS(), sched.AntMan{}} {
+		res := Run(quickCfg(), tr, p)
+		for _, j := range res.Jobs {
+			serial := time.Duration(j.Iterations) * j.SerialIterTime()
+			if j.JCT() < serial-time.Second {
+				t.Errorf("%s: job %d JCT %v below serial run time %v",
+					p.Name(), j.ID, j.JCT(), serial)
+			}
+			if j.Attained < serial-time.Second {
+				t.Errorf("%s: job %d attained %v below serial %v — lost progress",
+					p.Name(), j.ID, j.Attained, serial)
+			}
+		}
+	}
+}
+
+func TestStickyMuriInSim(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Name: "t", Jobs: 60, Seed: 29, MaxGPUs: 8,
+		MeanInterarrival: 10 * time.Second,
+		MedianDuration:   10 * time.Minute,
+		MaxDuration:      30 * time.Minute,
+	})
+	plain := Run(quickCfg(), tr, sched.NewMuriL())
+	sticky := sched.NewMuriL()
+	sticky.Sticky = true
+	stickyRes := Run(quickCfg(), tr, sticky)
+	if len(stickyRes.Jobs) != 60 {
+		t.Fatalf("sticky run completed %d jobs", len(stickyRes.Jobs))
+	}
+	if stickyRes.Preemptions > plain.Preemptions {
+		t.Errorf("sticky preemptions %d exceed plain %d", stickyRes.Preemptions, plain.Preemptions)
+	}
+}

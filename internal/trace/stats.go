@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats summarizes a trace's workload characteristics — the numbers one
+// checks before trusting a synthetic trace to stand in for Philly.
+type Stats struct {
+	// Jobs is the record count.
+	Jobs int
+	// Span is the submission window (last submit − first submit).
+	Span time.Duration
+	// GPUHours is the total work (Σ duration × GPUs).
+	GPUHours float64
+	// MedianDuration and P95Duration describe the duration distribution.
+	MedianDuration, P95Duration time.Duration
+	// GPUHistogram counts jobs per GPU-request size.
+	GPUHistogram map[int]int
+	// LoadFactor is GPU-hours divided by (span × capacity): > 1 means the
+	// submission window alone carries more work than the cluster can do.
+	LoadFactor float64
+	// ModelMix counts jobs per model.
+	ModelMix map[string]int
+}
+
+// ComputeStats summarizes the trace against a cluster of capacityGPUs.
+func (t Trace) ComputeStats(capacityGPUs int) Stats {
+	s := Stats{
+		Jobs:         len(t.Specs),
+		GPUHistogram: make(map[int]int),
+		ModelMix:     make(map[string]int),
+	}
+	if len(t.Specs) == 0 {
+		return s
+	}
+	durations := make([]time.Duration, 0, len(t.Specs))
+	first, last := t.Specs[0].Submit, t.Specs[0].Submit
+	for _, sp := range t.Specs {
+		s.GPUHours += sp.Duration.Hours() * float64(sp.GPUs)
+		s.GPUHistogram[sp.GPUs]++
+		s.ModelMix[sp.Model]++
+		durations = append(durations, sp.Duration)
+		if sp.Submit < first {
+			first = sp.Submit
+		}
+		if sp.Submit > last {
+			last = sp.Submit
+		}
+	}
+	s.Span = last - first
+	sort.Slice(durations, func(i, k int) bool { return durations[i] < durations[k] })
+	s.MedianDuration = durations[len(durations)/2]
+	s.P95Duration = durations[(len(durations)*95)/100]
+	if capacityGPUs > 0 && s.Span > 0 {
+		s.LoadFactor = s.GPUHours / (s.Span.Hours() * float64(capacityGPUs))
+	}
+	return s
+}
+
+// String renders a one-paragraph summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d jobs over %v: %.0f GPU-hours (load factor %.2f), median %v, p95 %v\n",
+		s.Jobs, s.Span.Round(time.Minute), s.GPUHours, s.LoadFactor,
+		s.MedianDuration.Round(time.Second), s.P95Duration.Round(time.Second))
+	var gs []int
+	for g := range s.GPUHistogram {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	b.WriteString("gpus:")
+	for _, g := range gs {
+		fmt.Fprintf(&b, " %d×%d", g, s.GPUHistogram[g])
+	}
+	return b.String()
+}

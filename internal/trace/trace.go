@@ -1,0 +1,313 @@
+// Package trace provides DL training job traces: a synthetic generator
+// calibrated to the published characteristics of the Microsoft Philly
+// traces (the paper's workload source, §6.1), plus CSV serialization.
+//
+// The paper consumes only three fields per trace record — submission time,
+// duration, and GPU count — and assigns each job a model drawn randomly
+// from the Table 3 zoo. The generator emits exactly that. The Philly trace
+// itself is not redistributable, so this package substitutes a seeded
+// synthetic equivalent (see DESIGN.md §1).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"muri/internal/workload"
+)
+
+// Spec is one trace record: a job to be submitted.
+type Spec struct {
+	// ID is the job's identity within the trace.
+	ID int64
+	// Submit is the submission time relative to trace start.
+	Submit time.Duration
+	// Duration is the job's total run time at exclusive speed.
+	Duration time.Duration
+	// GPUs is the number of GPUs the job requests (a power of two).
+	GPUs int
+	// Model is the zoo model name the job trains.
+	Model string
+}
+
+// Trace is a named sequence of job specs sorted by submission time.
+type Trace struct {
+	Name  string
+	Specs []Spec
+}
+
+// ZeroSubmit returns a copy of the trace with every submission time set to
+// zero — the 1'–4' variants the paper uses to evaluate high load (§6.3).
+func (t Trace) ZeroSubmit() Trace {
+	out := Trace{Name: t.Name + "'", Specs: make([]Spec, len(t.Specs))}
+	copy(out.Specs, t.Specs)
+	for i := range out.Specs {
+		out.Specs[i].Submit = 0
+	}
+	return out
+}
+
+// TotalGPUHours sums duration × GPUs over the trace, in hours.
+func (t Trace) TotalGPUHours() float64 {
+	s := 0.0
+	for _, sp := range t.Specs {
+		s += sp.Duration.Hours() * float64(sp.GPUs)
+	}
+	return s
+}
+
+// GenConfig parameterizes the synthetic Philly-like generator.
+type GenConfig struct {
+	// Name labels the generated trace.
+	Name string
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// Seed makes the trace deterministic.
+	Seed int64
+	// MeanInterarrival is the mean of the exponential inter-arrival
+	// distribution. Lower means a busier cluster.
+	MeanInterarrival time.Duration
+	// MedianDuration is the median of the log-normal duration
+	// distribution.
+	MedianDuration time.Duration
+	// Sigma is the log-normal shape parameter; Philly durations are
+	// heavy-tailed (σ ≈ 1.5).
+	Sigma float64
+	// MinDuration and MaxDuration clamp the sampled durations.
+	MinDuration, MaxDuration time.Duration
+	// MaxGPUs caps per-job GPU counts (power of two ≤ MaxGPUs).
+	MaxGPUs int
+	// JobTypes restricts the model pool to the first JobTypes bottleneck
+	// classes in the order GPU, CPU, Storage, Network (Figure 13 sweeps
+	// this from 1 to 4). Zero or 4 means all classes.
+	JobTypes int
+}
+
+// bottleneckOrder is the order in which Figure 13 adds job types.
+var bottleneckOrder = []workload.Resource{
+	workload.GPU, workload.CPU, workload.Storage, workload.Network,
+}
+
+// modelPool returns the models allowed by cfg.JobTypes.
+func (cfg GenConfig) modelPool() []workload.Model {
+	types := cfg.JobTypes
+	if types <= 0 || types > len(bottleneckOrder) {
+		types = len(bottleneckOrder)
+	}
+	var pool []workload.Model
+	for _, r := range bottleneckOrder[:types] {
+		pool = append(pool, workload.ByBottleneck(r)...)
+	}
+	return pool
+}
+
+// phillyGPUWeights approximates the Philly job-size distribution: most
+// jobs use a single GPU, with a heavy single-machine tail and a few
+// multi-machine jobs.
+var phillyGPUWeights = []struct {
+	gpus   int
+	weight float64
+}{
+	{1, 0.70}, {2, 0.09}, {4, 0.07}, {8, 0.09}, {16, 0.03}, {32, 0.015}, {64, 0.005},
+}
+
+func sampleGPUs(rng *rand.Rand, maxGPUs int) int {
+	total := 0.0
+	for _, w := range phillyGPUWeights {
+		if w.gpus <= maxGPUs {
+			total += w.weight
+		}
+	}
+	x := rng.Float64() * total
+	for _, w := range phillyGPUWeights {
+		if w.gpus > maxGPUs {
+			continue
+		}
+		if x < w.weight {
+			return w.gpus
+		}
+		x -= w.weight
+	}
+	return 1
+}
+
+// Generate produces a deterministic synthetic trace.
+func Generate(cfg GenConfig) Trace {
+	if cfg.Jobs <= 0 {
+		panic("trace: Jobs must be positive")
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 30 * time.Second
+	}
+	if cfg.MedianDuration <= 0 {
+		cfg.MedianDuration = 20 * time.Minute
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 1.5
+	}
+	if cfg.MinDuration <= 0 {
+		cfg.MinDuration = 2 * time.Minute
+	}
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 24 * time.Hour
+	}
+	if cfg.MaxGPUs <= 0 {
+		cfg.MaxGPUs = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := cfg.modelPool()
+	specs := make([]Spec, 0, cfg.Jobs)
+	var now time.Duration
+	mu := math.Log(float64(cfg.MedianDuration))
+	for i := 0; i < cfg.Jobs; i++ {
+		now += time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		gpus := sampleGPUs(rng, cfg.MaxGPUs)
+		d := time.Duration(math.Exp(mu + cfg.Sigma*rng.NormFloat64()))
+		// Large multi-machine jobs are comparatively short-lived in the
+		// Philly analysis (Jeon et al., ATC'19: bigger jobs fail or are
+		// killed earlier): cap duration inversely with size so a handful
+		// of whole-cluster jobs cannot dominate the trace's GPU-hours.
+		maxDur := time.Duration(float64(cfg.MaxDuration) / float64(gpus))
+		if maxDur < cfg.MinDuration {
+			maxDur = cfg.MinDuration
+		}
+		if d < cfg.MinDuration {
+			d = cfg.MinDuration
+		}
+		if d > maxDur {
+			d = maxDur
+		}
+		specs = append(specs, Spec{
+			ID:       int64(i),
+			Submit:   now,
+			Duration: d,
+			GPUs:     gpus,
+			Model:    pool[rng.Intn(len(pool))].Name,
+		})
+	}
+	return Trace{Name: cfg.Name, Specs: specs}
+}
+
+// PhillyConfigs returns the four standard trace configurations used across
+// the evaluation, with job counts spanning the paper's 992–5755 range and
+// varying load (trace 3 is deliberately lightly loaded — the paper calls
+// it out as the one where Muri's makespan gain vanishes).
+func PhillyConfigs(maxGPUs int) []GenConfig {
+	return []GenConfig{
+		{Name: "trace1", Jobs: 992, Seed: 1, MeanInterarrival: 90 * time.Second,
+			MedianDuration: time.Hour, MaxGPUs: maxGPUs},
+		{Name: "trace2", Jobs: 2000, Seed: 2, MeanInterarrival: 60 * time.Second,
+			MedianDuration: time.Hour, MaxGPUs: maxGPUs},
+		{Name: "trace3", Jobs: 3500, Seed: 3, MeanInterarrival: 150 * time.Second,
+			MedianDuration: 20 * time.Minute, MaxGPUs: maxGPUs},
+		{Name: "trace4", Jobs: 5755, Seed: 4, MeanInterarrival: 45 * time.Second,
+			MedianDuration: time.Hour, MaxGPUs: maxGPUs},
+	}
+}
+
+// BusiestWindow extracts the n consecutive jobs (by submission order)
+// whose submission window is the busiest — the paper's method for picking
+// the 400-job testbed workload from a full trace (§6.1). Submission times
+// are rebased so the window starts at zero.
+func (t Trace) BusiestWindow(n int) Trace {
+	if n >= len(t.Specs) {
+		return t
+	}
+	best := 0
+	bestSpan := time.Duration(math.MaxInt64)
+	for i := 0; i+n <= len(t.Specs); i++ {
+		span := t.Specs[i+n-1].Submit - t.Specs[i].Submit
+		if span < bestSpan {
+			bestSpan = span
+			best = i
+		}
+	}
+	out := Trace{Name: fmt.Sprintf("%s-busy%d", t.Name, n), Specs: make([]Spec, n)}
+	copy(out.Specs, t.Specs[best:best+n])
+	base := out.Specs[0].Submit
+	for i := range out.Specs {
+		out.Specs[i].Submit -= base
+		out.Specs[i].ID = int64(i)
+	}
+	return out
+}
+
+// WriteCSV writes the trace in the canonical CSV format:
+// id,submit_seconds,duration_seconds,gpus,model — one row per job, after
+// a header row.
+func (t Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "submit_s", "duration_s", "gpus", "model"}); err != nil {
+		return err
+	}
+	for _, s := range t.Specs {
+		rec := []string{
+			strconv.FormatInt(s.ID, 10),
+			strconv.FormatFloat(s.Submit.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(s.Duration.Seconds(), 'f', 3, 64),
+			strconv.Itoa(s.GPUs),
+			s.Model,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Records are re-sorted by
+// submission time.
+func ReadCSV(name string, r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return Trace{}, fmt.Errorf("trace: empty csv")
+	}
+	t := Trace{Name: name}
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return Trace{}, fmt.Errorf("trace: row %d has %d fields, want 5", i+2, len(row))
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d id: %w", i+2, err)
+		}
+		submit, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d submit: %w", i+2, err)
+		}
+		dur, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d duration: %w", i+2, err)
+		}
+		gpus, err := strconv.Atoi(row[3])
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d gpus: %w", i+2, err)
+		}
+		if gpus <= 0 {
+			return Trace{}, fmt.Errorf("trace: row %d: nonpositive gpus", i+2)
+		}
+		if _, err := workload.ByName(row[4]); err != nil {
+			return Trace{}, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		t.Specs = append(t.Specs, Spec{
+			ID:       id,
+			Submit:   time.Duration(submit * float64(time.Second)),
+			Duration: time.Duration(dur * float64(time.Second)),
+			GPUs:     gpus,
+			Model:    row[4],
+		})
+	}
+	sort.SliceStable(t.Specs, func(i, j int) bool { return t.Specs[i].Submit < t.Specs[j].Submit })
+	return t, nil
+}

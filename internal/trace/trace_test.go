@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"muri/internal/workload"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Name: "t", Jobs: 100, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Specs) != len(b.Specs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Specs), len(b.Specs))
+	}
+	for i := range a.Specs {
+		if a.Specs[i] != b.Specs[i] {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a.Specs[i], b.Specs[i])
+		}
+	}
+	c := Generate(GenConfig{Name: "t", Jobs: 100, Seed: 43})
+	same := true
+	for i := range a.Specs {
+		if a.Specs[i] != c.Specs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	tr := Generate(GenConfig{Name: "t", Jobs: 500, Seed: 7, MaxGPUs: 64})
+	if len(tr.Specs) != 500 {
+		t.Fatalf("jobs = %d, want 500", len(tr.Specs))
+	}
+	var prev time.Duration
+	for i, s := range tr.Specs {
+		if s.Submit < prev {
+			t.Errorf("spec %d: submit %v before previous %v", i, s.Submit, prev)
+		}
+		prev = s.Submit
+		if s.GPUs&(s.GPUs-1) != 0 || s.GPUs < 1 || s.GPUs > 64 {
+			t.Errorf("spec %d: gpus %d not a power of two in range", i, s.GPUs)
+		}
+		if s.Duration < 2*time.Minute || s.Duration > 24*time.Hour {
+			t.Errorf("spec %d: duration %v outside clamp", i, s.Duration)
+		}
+		if _, err := workload.ByName(s.Model); err != nil {
+			t.Errorf("spec %d: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratePanicsOnZeroJobs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with 0 jobs should panic")
+		}
+	}()
+	Generate(GenConfig{})
+}
+
+func TestJobTypesRestrictsModels(t *testing.T) {
+	wantByTypes := map[int][]workload.Resource{
+		1: {workload.GPU},
+		2: {workload.GPU, workload.CPU},
+		3: {workload.GPU, workload.CPU, workload.Storage},
+		4: {workload.GPU, workload.CPU, workload.Storage, workload.Network},
+	}
+	for types, allowed := range wantByTypes {
+		tr := Generate(GenConfig{Name: "t", Jobs: 300, Seed: 5, JobTypes: types})
+		allowedSet := make(map[workload.Resource]bool)
+		for _, r := range allowed {
+			allowedSet[r] = true
+		}
+		seen := make(map[workload.Resource]bool)
+		for _, s := range tr.Specs {
+			m, err := workload.ByName(s.Model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := m.Bottleneck()
+			if !allowedSet[b] {
+				t.Errorf("types=%d: model %s bottleneck %v not allowed", types, s.Model, b)
+			}
+			seen[b] = true
+		}
+		if len(seen) != len(allowed) {
+			t.Errorf("types=%d: saw %d bottleneck classes, want %d", types, len(seen), len(allowed))
+		}
+	}
+}
+
+func TestGPUDistributionSkewsSmall(t *testing.T) {
+	tr := Generate(GenConfig{Name: "t", Jobs: 2000, Seed: 9, MaxGPUs: 64})
+	count := make(map[int]int)
+	for _, s := range tr.Specs {
+		count[s.GPUs]++
+	}
+	if frac := float64(count[1]) / 2000; frac < 0.6 || frac > 0.8 {
+		t.Errorf("1-GPU fraction = %v, want ≈0.7 (Philly-like)", frac)
+	}
+	if count[64] > 40 {
+		t.Errorf("64-GPU jobs = %d, want rare", count[64])
+	}
+}
+
+func TestZeroSubmit(t *testing.T) {
+	tr := Generate(GenConfig{Name: "t", Jobs: 50, Seed: 3})
+	z := tr.ZeroSubmit()
+	if z.Name != "t'" {
+		t.Errorf("name = %q, want t'", z.Name)
+	}
+	for i, s := range z.Specs {
+		if s.Submit != 0 {
+			t.Errorf("spec %d submit = %v, want 0", i, s.Submit)
+		}
+	}
+	// Original unchanged.
+	if tr.Specs[len(tr.Specs)-1].Submit == 0 {
+		t.Error("ZeroSubmit mutated the original trace")
+	}
+}
+
+func TestBusiestWindow(t *testing.T) {
+	specs := []Spec{
+		{ID: 0, Submit: 0, Duration: time.Minute, GPUs: 1, Model: "gpt2"},
+		{ID: 1, Submit: 100 * time.Second, Duration: time.Minute, GPUs: 1, Model: "gpt2"},
+		{ID: 2, Submit: 101 * time.Second, Duration: time.Minute, GPUs: 1, Model: "gpt2"},
+		{ID: 3, Submit: 102 * time.Second, Duration: time.Minute, GPUs: 1, Model: "gpt2"},
+		{ID: 4, Submit: 500 * time.Second, Duration: time.Minute, GPUs: 1, Model: "gpt2"},
+	}
+	tr := Trace{Name: "t", Specs: specs}
+	w := tr.BusiestWindow(3)
+	if len(w.Specs) != 3 {
+		t.Fatalf("window size = %d, want 3", len(w.Specs))
+	}
+	// The busiest 3-job window is jobs 1-3 (span 2s), rebased to zero.
+	if w.Specs[0].Submit != 0 || w.Specs[2].Submit != 2*time.Second {
+		t.Errorf("window submits = %v..%v, want 0..2s", w.Specs[0].Submit, w.Specs[2].Submit)
+	}
+	// Window of ≥ len returns the trace unchanged.
+	if got := tr.BusiestWindow(10); len(got.Specs) != 5 {
+		t.Errorf("oversized window = %d specs, want 5", len(got.Specs))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate(GenConfig{Name: "t", Jobs: 120, Seed: 21, MaxGPUs: 16})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Specs) != len(tr.Specs) {
+		t.Fatalf("round trip lost specs: %d vs %d", len(got.Specs), len(tr.Specs))
+	}
+	for i := range tr.Specs {
+		a, b := tr.Specs[i], got.Specs[i]
+		if a.ID != b.ID || a.GPUs != b.GPUs || a.Model != b.Model {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a, b)
+		}
+		if d := a.Submit - b.Submit; d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("spec %d submit drift %v", i, d)
+		}
+		if d := a.Duration - b.Duration; d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("spec %d duration drift %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"short row":    "id,submit_s,duration_s,gpus,model\n1,2,3\n",
+		"bad id":       "id,submit_s,duration_s,gpus,model\nx,0,60,1,gpt2\n",
+		"bad submit":   "id,submit_s,duration_s,gpus,model\n1,x,60,1,gpt2\n",
+		"bad duration": "id,submit_s,duration_s,gpus,model\n1,0,x,1,gpt2\n",
+		"bad gpus":     "id,submit_s,duration_s,gpus,model\n1,0,60,x,gpt2\n",
+		"zero gpus":    "id,submit_s,duration_s,gpus,model\n1,0,60,0,gpt2\n",
+		"bad model":    "id,submit_s,duration_s,gpus,model\n1,0,60,1,nosuch\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV("t", strings.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadCSV succeeded, want error", name)
+		}
+	}
+}
+
+func TestReadCSVSortsBySubmit(t *testing.T) {
+	data := "id,submit_s,duration_s,gpus,model\n" +
+		"0,100,60,1,gpt2\n" +
+		"1,50,60,1,gpt2\n"
+	tr, err := ReadCSV("t", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Specs[0].ID != 1 {
+		t.Errorf("first spec ID = %d, want 1 (earlier submit)", tr.Specs[0].ID)
+	}
+}
+
+func TestPhillyConfigs(t *testing.T) {
+	cfgs := PhillyConfigs(64)
+	if len(cfgs) != 4 {
+		t.Fatalf("configs = %d, want 4", len(cfgs))
+	}
+	wantJobs := []int{992, 2000, 3500, 5755}
+	for i, cfg := range cfgs {
+		if cfg.Jobs != wantJobs[i] {
+			t.Errorf("config %d jobs = %d, want %d", i, cfg.Jobs, wantJobs[i])
+		}
+		tr := Generate(cfg)
+		if len(tr.Specs) != cfg.Jobs {
+			t.Errorf("%s generated %d jobs, want %d", cfg.Name, len(tr.Specs), cfg.Jobs)
+		}
+	}
+}
+
+func TestTotalGPUHours(t *testing.T) {
+	tr := Trace{Specs: []Spec{
+		{Duration: time.Hour, GPUs: 2},
+		{Duration: 30 * time.Minute, GPUs: 4},
+	}}
+	if got := tr.TotalGPUHours(); got != 4 {
+		t.Errorf("TotalGPUHours = %v, want 4", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := Trace{Specs: []Spec{
+		{ID: 0, Submit: 0, Duration: time.Hour, GPUs: 2, Model: "gpt2"},
+		{ID: 1, Submit: time.Hour, Duration: 30 * time.Minute, GPUs: 4, Model: "a2c"},
+		{ID: 2, Submit: 2 * time.Hour, Duration: 2 * time.Hour, GPUs: 1, Model: "gpt2"},
+	}}
+	s := tr.ComputeStats(8)
+	if s.Jobs != 3 {
+		t.Errorf("Jobs = %d, want 3", s.Jobs)
+	}
+	if s.Span != 2*time.Hour {
+		t.Errorf("Span = %v, want 2h", s.Span)
+	}
+	if s.GPUHours != 2+2+2 {
+		t.Errorf("GPUHours = %v, want 6", s.GPUHours)
+	}
+	if s.LoadFactor != 6.0/(2*8) {
+		t.Errorf("LoadFactor = %v, want 0.375", s.LoadFactor)
+	}
+	if s.GPUHistogram[2] != 1 || s.ModelMix["gpt2"] != 2 {
+		t.Errorf("histograms wrong: %+v", s)
+	}
+	if s.MedianDuration != time.Hour {
+		t.Errorf("median = %v, want 1h", s.MedianDuration)
+	}
+	if str := s.String(); str == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := Trace{}.ComputeStats(8)
+	if s.Jobs != 0 || s.LoadFactor != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestLargeJobDurationCap(t *testing.T) {
+	tr := Generate(GenConfig{Name: "t", Jobs: 3000, Seed: 13, MaxGPUs: 64,
+		MedianDuration: time.Hour, MaxDuration: 24 * time.Hour})
+	for i, sp := range tr.Specs {
+		limit := time.Duration(float64(24*time.Hour) / float64(sp.GPUs))
+		if limit < 2*time.Minute {
+			limit = 2 * time.Minute
+		}
+		if sp.Duration > limit {
+			t.Fatalf("spec %d: %d GPUs × %v exceeds cap %v", i, sp.GPUs, sp.Duration, limit)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// ModelParallelConfig controls how a model's profile is split into
+// pipeline (model-parallel) worker profiles, following the sketch in the
+// paper's §7 discussion: every worker receives intermediate data from its
+// predecessor (network), computes its partition (GPU), and sends
+// activations to its successor (network); the first worker instead loads
+// and preprocesses input data, and the last worker synchronizes
+// gradients.
+type ModelParallelConfig struct {
+	// Workers is the pipeline depth (≥ 1).
+	Workers int
+	// ActivationFraction scales the per-boundary activation transfer
+	// relative to the model's gradient-synchronization time. The paper
+	// does not quantify it; 0.5 is the default (activations are usually
+	// smaller than full gradients).
+	ActivationFraction float64
+}
+
+// ModelParallelWorkers derives per-worker stage-duration vectors for a
+// pipeline-parallel training job. With Workers == 1 the original profile
+// is returned unchanged. The GPU compute is split evenly across workers;
+// storage and CPU preprocessing stay on the first worker; gradient
+// synchronization stays on the last; interior pipeline boundaries add
+// activation transfers to the network stage of both sides.
+//
+// Each returned vector is a normal StageTimes, so a model-parallel worker
+// schedules and interleaves exactly like a data-parallel job — the
+// adjustment the paper describes as sufficient to support model parallel
+// training ("interleaving stages in one model parallel training job with
+// stages of the same propagation direction in other jobs").
+func ModelParallelWorkers(m Model, cfg ModelParallelConfig) ([]StageTimes, error) {
+	w := cfg.Workers
+	if w < 1 {
+		return nil, fmt.Errorf("workload: pipeline needs ≥ 1 worker, got %d", w)
+	}
+	if w == 1 {
+		return []StageTimes{m.Stages}, nil
+	}
+	frac := cfg.ActivationFraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	computeShare := m.Stages[GPU] / time.Duration(w)
+	xfer := time.Duration(float64(m.Stages[Network]) * frac)
+	out := make([]StageTimes, w)
+	for i := range out {
+		var st StageTimes
+		st[GPU] = computeShare
+		switch {
+		case i == 0:
+			// Head: input pipeline plus the send to worker 1.
+			st[Storage] = m.Stages[Storage]
+			st[CPU] = m.Stages[CPU]
+			st[Network] = xfer
+		case i == w-1:
+			// Tail: receive from the previous worker plus gradient sync.
+			st[Network] = xfer + m.Stages[Network]
+		default:
+			// Interior: receive and send activations.
+			st[Network] = 2 * xfer
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// PipelineBottlenecks returns the dominant resource of each pipeline
+// worker — useful for verifying that a split shifts bottlenecks the way
+// §7 predicts (head storage/CPU-bound, tail network-bound for
+// communication-heavy models).
+func PipelineBottlenecks(workers []StageTimes) []Resource {
+	out := make([]Resource, len(workers))
+	for i, st := range workers {
+		out[i] = st.Bottleneck()
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestModelParallelSingleWorkerIsIdentity(t *testing.T) {
+	m, err := ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0] != m.Stages {
+		t.Errorf("1-worker split = %v, want original profile", ws)
+	}
+}
+
+func TestModelParallelInvalidWorkers(t *testing.T) {
+	m, _ := ByName("gpt2")
+	if _, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: 0}); err == nil {
+		t.Error("0 workers accepted")
+	}
+}
+
+func TestModelParallelConservesCompute(t *testing.T) {
+	m, _ := ByName("gpt2")
+	for _, w := range []int{2, 3, 4, 8} {
+		ws, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws) != w {
+			t.Fatalf("%d workers: got %d vectors", w, len(ws))
+		}
+		var gpu, storage, cpu time.Duration
+		for _, st := range ws {
+			gpu += st[GPU]
+			storage += st[Storage]
+			cpu += st[CPU]
+		}
+		// GPU compute conserved within per-worker division rounding.
+		if diff := gpu - m.Stages[GPU]; diff > time.Duration(w) || diff < -time.Duration(w)*time.Microsecond*100 {
+			if gpu > m.Stages[GPU] || m.Stages[GPU]-gpu > time.Duration(w)*time.Millisecond {
+				t.Errorf("%d workers: total GPU %v, want ≈%v", w, gpu, m.Stages[GPU])
+			}
+		}
+		// Input pipeline appears exactly once (on the head worker).
+		if storage != m.Stages[Storage] || cpu != m.Stages[CPU] {
+			t.Errorf("%d workers: storage/cpu = %v/%v, want %v/%v",
+				w, storage, cpu, m.Stages[Storage], m.Stages[CPU])
+		}
+		if ws[0][Storage] != m.Stages[Storage] {
+			t.Errorf("%d workers: head has storage %v, want all of it", w, ws[0][Storage])
+		}
+	}
+}
+
+func TestModelParallelNetworkStructure(t *testing.T) {
+	m, _ := ByName("vgg16") // network-heavy model
+	ws, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: 4, ActivationFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer := time.Duration(float64(m.Stages[Network]) * 0.5)
+	if ws[0][Network] != xfer {
+		t.Errorf("head network = %v, want one transfer %v", ws[0][Network], xfer)
+	}
+	for i := 1; i < 3; i++ {
+		if ws[i][Network] != 2*xfer {
+			t.Errorf("interior %d network = %v, want 2×%v", i, ws[i][Network], xfer)
+		}
+	}
+	if ws[3][Network] != xfer+m.Stages[Network] {
+		t.Errorf("tail network = %v, want transfer + full sync", ws[3][Network])
+	}
+}
+
+func TestModelParallelBottleneckShifts(t *testing.T) {
+	// Splitting a GPU-bound model deep enough shifts the head toward its
+	// input pipeline and the tail toward synchronization (§7).
+	m, _ := ByName("bert")
+	ws, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := PipelineBottlenecks(ws)
+	if bs[len(bs)-1] != Network {
+		t.Errorf("tail bottleneck = %v, want network after deep split", bs[len(bs)-1])
+	}
+	// The interior compute share (80ms/8 = 10ms) must no longer dominate
+	// everything: head should not be GPU-bound.
+	if bs[0] == GPU {
+		t.Errorf("head bottleneck still GPU after 8-way split: %v (profile %v)", bs[0], ws[0])
+	}
+}
+
+func TestModelParallelWorkersInterleave(t *testing.T) {
+	// A deep pipeline's complementary workers should themselves form a
+	// good interleaving group: head (storage/cpu) with tail (network) and
+	// interiors (gpu).
+	m, _ := ByName("gpt2")
+	ws, err := ModelParallelWorkers(m, ModelParallelConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four worker vectors must be valid StageTimes with nonzero total.
+	for i, st := range ws {
+		if st.Total() <= 0 {
+			t.Errorf("worker %d has empty profile", i)
+		}
+	}
+}

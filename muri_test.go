@@ -1,0 +1,149 @@
+package muri_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"muri"
+	"muri/internal/executor"
+)
+
+func TestModelsZoo(t *testing.T) {
+	models := muri.Models()
+	if len(models) != 8 {
+		t.Fatalf("zoo has %d models, want 8", len(models))
+	}
+	m, err := muri.ModelByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bottleneck() != muri.GPU {
+		t.Errorf("gpt2 bottleneck = %v, want GPU", m.Bottleneck())
+	}
+}
+
+func TestEfficiencyAndPlan(t *testing.T) {
+	var profiles []muri.StageTimes
+	for _, name := range []string{"shufflenet", "a2c", "gpt2", "vgg16"} {
+		m, err := muri.ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, m.Stages)
+	}
+	plan := muri.PlanGroup(profiles)
+	if plan.Efficiency <= 0 || plan.Efficiency > 1 {
+		t.Errorf("plan efficiency = %v, want (0, 1]", plan.Efficiency)
+	}
+	if plan.IterTime <= 0 {
+		t.Errorf("plan iteration time = %v, want > 0", plan.IterTime)
+	}
+	if got := muri.GroupIterationTime(profiles); got <= 0 {
+		t.Errorf("GroupIterationTime = %v, want > 0", got)
+	}
+	if eff := muri.Efficiency(profiles); eff <= 0 {
+		t.Errorf("Efficiency = %v, want > 0", eff)
+	}
+}
+
+func TestSimulateSmallTrace(t *testing.T) {
+	tr := muri.GenerateTrace(muri.TraceGen{Name: "t", Jobs: 40, Seed: 3, MaxGPUs: 8,
+		MeanInterarrival: 20 * time.Second, MedianDuration: 8 * time.Minute, MaxDuration: 30 * time.Minute})
+	cfg := muri.DefaultSimConfig()
+	cfg.Machines = 2
+	res := muri.Simulate(cfg, tr, muri.MuriS())
+	if res.Summary.Jobs != 40 {
+		t.Errorf("completed %d jobs, want 40", res.Summary.Jobs)
+	}
+	base := muri.Simulate(cfg, tr, muri.FIFO())
+	if base.Summary.Jobs != 40 {
+		t.Errorf("FIFO completed %d jobs, want 40", base.Summary.Jobs)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]muri.Policy{
+		"fifo": muri.FIFO(), "srtf": muri.SRTF(), "srsf": muri.SRSF(),
+		"tiresias": muri.Tiresias(), "themis": muri.Themis(),
+		"antman": muri.AntMan(), "muri-s": muri.MuriS(), "muri-l": muri.MuriL(),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("policy name = %q, want %q", p.Name(), name)
+		}
+	}
+}
+
+func TestPhillyTraces(t *testing.T) {
+	traces := muri.PhillyTraces(64)
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want 4", len(traces))
+	}
+	if len(traces[0].Specs) != 992 || len(traces[3].Specs) != 5755 {
+		t.Errorf("trace sizes = %d..%d, want 992..5755", len(traces[0].Specs), len(traces[3].Specs))
+	}
+}
+
+// TestLiveSchedulerEndToEnd drives the public distributed API: a
+// scheduler daemon, one in-process executor agent, and a client.
+func TestLiveSchedulerEndToEnd(t *testing.T) {
+	srv := muri.NewServer(muri.ServerConfig{
+		Interval:    30 * time.Millisecond,
+		TimeScale:   0.0005,
+		ReportEvery: 20 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = srv.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	agent := &executor.Agent{MachineID: "m0", GPUs: 8, Logf: t.Logf}
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = agent.Run(ctx, ln.Addr().String()) }()
+	defer func() { cancel(); srv.Close(); wg.Wait() }()
+
+	c, err := muri.DialScheduler(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, m := range []string{"gpt2", "a2c", "shufflenet", "vgg16"} {
+		if _, err := c.Submit(m, 1, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.WaitAllDone(30*time.Second, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 4 {
+		t.Errorf("done = %d, want 4", st.Done)
+	}
+}
+
+func TestMultiResourceBaselineFacade(t *testing.T) {
+	if muri.DRF().Name() != "drf" || muri.Tetris().Name() != "tetris" || muri.Gittins().Name() != "gittins" {
+		t.Error("facade policy names wrong")
+	}
+	tr := muri.GenerateTrace(muri.TraceGen{Name: "t", Jobs: 25, Seed: 5, MaxGPUs: 8,
+		MeanInterarrival: 30 * time.Second, MedianDuration: 8 * time.Minute, MaxDuration: 20 * time.Minute})
+	cfg := muri.DefaultSimConfig()
+	cfg.Machines = 2
+	for _, p := range []muri.Policy{muri.DRF(), muri.Tetris(), muri.Gittins()} {
+		res := muri.Simulate(cfg, tr, p)
+		if res.Summary.Jobs != 25 {
+			t.Errorf("%s completed %d jobs, want 25", p.Name(), res.Summary.Jobs)
+		}
+	}
+	c := muri.JCTDistribution(muri.Simulate(cfg, tr, muri.MuriS()))
+	if c.Len() != 25 || c.Quantile(0.5) <= 0 {
+		t.Errorf("JCT distribution: %v", c)
+	}
+}
