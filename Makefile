@@ -1,0 +1,36 @@
+# Development entry points. `make check` is the gate every change must
+# pass: build, vet, and the full test suite under the race detector
+# (the scheduling path runs worker pools and a shared cache, so -race is
+# not optional).
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-sched clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scheduling-path microbenchmarks (ns/op plus cache-hit-rate), captured
+# as a machine-readable stream in BENCH_sched.json for before/after
+# comparison. See DESIGN.md "Performance architecture".
+bench-sched:
+	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability' \
+		-benchtime 3x -json . | tee BENCH_sched.json
+
+# Full evaluation benchmark sweep (regenerates every table/figure once).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+clean:
+	rm -f BENCH_sched.json cpu.pprof mem.pprof

@@ -432,3 +432,50 @@ func BenchmarkMultiResourceBaselines(b *testing.B) {
 	b.ReportMetric(metrics.Speedup(tetris.Summary.AvgJCT, muriS.Summary.AvgJCT), "muri-s-jct-speedup-vs-tetris")
 	b.ReportMetric(metrics.Speedup(drf.Summary.AvgJCT, muriS.Summary.AvgJCT), "muri-s-jct-speedup-vs-drf")
 }
+
+// benchMixedJobs builds a large candidate set spanning the whole model
+// zoo and several GPU buckets with spread-out progress — the shape of a
+// busy cluster's scheduling interval.
+func benchMixedJobs(n int) []*job.Job {
+	zoo := workload.Zoo()
+	gpuMix := []int{1, 1, 1, 1, 2, 2, 4, 8}
+	jobs := make([]*job.Job, n)
+	for i := 0; i < n; i++ {
+		j := job.New(job.ID(i), zoo[i%len(zoo)], gpuMix[i%len(gpuMix)], 100_000, 0)
+		j.DoneIterations = int64(i * 37 % 80_000)
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// BenchmarkPlanLarge times Algorithm 1 end-to-end on 1,200 mixed-GPU
+// jobs — beyond the paper's 1,000-job scalability claim — and reports
+// the pair-efficiency cache hit rate. Repeated iterations model repeated
+// scheduling intervals over a stable candidate set, the case the memo
+// cache exists for.
+func BenchmarkPlanLarge(b *testing.B) {
+	jobs := benchMixedJobs(1200)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(cfg.Plan(jobs, 64)) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+	b.ReportMetric(cfg.Cache.Stats().HitRate(), "cache-hit-rate")
+}
+
+// BenchmarkScheduleHotLoop times the full Muri-S policy hot path (sort,
+// candidate cut, grouping, ranking) on 1,000 jobs — the per-interval
+// work the simulator performs thousands of times per figure.
+func BenchmarkScheduleHotLoop(b *testing.B) {
+	jobs := benchMixedJobs(1000)
+	p := sched.NewMuriS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.Plan(0, jobs, 64)) == 0 {
+			b.Fatal("no units")
+		}
+	}
+	b.ReportMetric(p.Grouping.Cache.Stats().HitRate(), "cache-hit-rate")
+}

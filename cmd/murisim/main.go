@@ -6,9 +6,14 @@
 //	murisim -experiment all                 # everything, paper scale
 //	murisim -experiment table4 -quick       # one experiment, reduced scale
 //	murisim -experiment figure9 -maxjobs 500
+//	murisim -experiment figure10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, table2, table4, table5, figure8, figure9,
 // figure10, figure11, figure12, figure13, figure14, all.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (inspect
+// with `go tool pprof`), so scheduling-path regressions can be diagnosed
+// against real experiment workloads.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"muri/internal/experiments"
@@ -29,8 +36,39 @@ func main() {
 		gpus       = flag.Int("gpus", 8, "GPUs per machine")
 		maxJobs    = flag.Int("maxjobs", 0, "truncate each trace to this many jobs (0 = full)")
 		seriesDir  = flag.String("series-out", "", "directory for per-policy Figure 8 time-series CSVs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murisim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "murisim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "murisim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "murisim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	opt := experiments.Full()
 	if *quick {

@@ -13,7 +13,10 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"muri/internal/blossom"
@@ -46,8 +49,20 @@ type Config struct {
 	// Nil uses the job's true remaining count (known durations, Muri-S).
 	// Muri-L supplies the least-attained-service heuristic: for
 	// heavy-tailed DL duration distributions, a job's expected remaining
-	// work is proportional to what it has already attained.
+	// work is proportional to what it has already attained. It must be
+	// safe for concurrent calls: the grouping-graph workers invoke it in
+	// parallel.
 	RemainingIters func(*job.Job) int64
+	// Cache memoizes best-ordering group statistics (pair efficiencies,
+	// node γ/T, JCT-gate iteration times) across Blossom rounds and
+	// scheduling intervals. Profiles are immutable per job, so cached
+	// values are bit-identical to fresh computation and schedules do not
+	// depend on cache state. Nil disables memoization.
+	Cache *interleave.EffCache
+	// EdgeWorkers bounds the worker pool that evaluates grouping-graph
+	// edge weights. 0 uses GOMAXPROCS; 1 forces serial construction.
+	// Edges are collected in deterministic (u,v) order either way.
+	EdgeWorkers int
 }
 
 // Gate chooses how a candidate merge is judged beneficial before it can
@@ -78,6 +93,7 @@ func DefaultConfig() Config {
 		Interleave:   interleave.DefaultConfig,
 		MaxGroupSize: interleave.MaxGroupSize,
 		UseBlossom:   true,
+		Cache:        interleave.NewEffCache(0),
 	}
 }
 
@@ -115,6 +131,10 @@ type node struct {
 	profiles []workload.StageTimes
 	gamma    float64       // cached standalone interleaving efficiency
 	iterTime time.Duration // cached standalone group iteration time
+	// statsDone marks gamma/iterTime as computed. bucketEdges fills the
+	// stats for every node before fanning out, so the worker pool only
+	// ever reads them.
+	statsDone bool
 }
 
 func (c Config) maxGroup() int {
@@ -227,12 +247,19 @@ func (c Config) GroupBucket(jobs []*job.Job) []Group {
 	return c.Plan(jobs, 0)
 }
 
-// nodeStats computes (and caches) a node's standalone interleaving
+// groupStats returns the best-ordering iteration time and efficiency of
+// a profile multiset, memoized through the configured cache (fresh
+// computation when Cache is nil — the values are identical either way).
+func (c Config) groupStats(profiles []workload.StageTimes) (time.Duration, float64) {
+	return c.Cache.GroupStats(c.Interleave, profiles)
+}
+
+// nodeStats computes (and caches on the node) its standalone interleaving
 // efficiency γ and group iteration time T under its best ordering.
 func (c Config) nodeStats(n *node) (gamma float64, iterTime time.Duration) {
-	if n.iterTime == 0 {
-		_, T, eff := interleave.BestOrdering(c.Interleave.Inflate(n.profiles))
-		n.gamma, n.iterTime = eff, T
+	if !n.statsDone {
+		n.iterTime, n.gamma = c.groupStats(n.profiles)
+		n.statsDone = true
 	}
 	return n.gamma, n.iterTime
 }
@@ -263,7 +290,7 @@ func (c Config) jctGain(u, v *node) time.Duration {
 	_, tu := c.nodeStats(u)
 	_, tv := c.nodeStats(v)
 	merged := mergeNodes(u, v)
-	_, _, tm := mergedPlan(c, merged)
+	tm, _ := c.groupStats(merged.profiles)
 	mergedSum, _ := c.completionCost(merged, 0, tm)
 	// Sequential baseline, both orders.
 	su1, fu := c.completionCost(u, 0, tu)
@@ -275,13 +302,6 @@ func (c Config) jctGain(u, v *node) time.Duration {
 		seq = alt
 	}
 	return seq - mergedSum
-}
-
-// mergedPlan returns the best-ordering efficiency and iteration time of a
-// merged node.
-func mergedPlan(c Config, n *node) (interleave.Ordering, float64, time.Duration) {
-	ord, T, eff := interleave.BestOrdering(c.Interleave.Inflate(n.profiles))
-	return ord, eff, T
 }
 
 // mergeNodes concatenates two nodes (Algorithm 1's MergeNode).
@@ -319,18 +339,44 @@ func (c Config) mergeGain(u, v *node, combined float64) (float64, bool) {
 	}
 }
 
+// parallelEdgeThreshold is the bucket size below which graph construction
+// stays serial: the worker-pool setup costs more than it saves on the
+// handful of pairs a small bucket produces.
+const parallelEdgeThreshold = 48
+
+// edgeWorkers resolves the configured pool bound.
+func (c Config) edgeWorkers() int {
+	if c.EdgeWorkers > 0 {
+		return c.EdgeWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // bucketEdges builds the gain-gated grouping graph for one round in one
 // bucket: edge weights are interleaving efficiencies (paper §4.1), and
 // edges whose merge fails the configured benefit gate are dropped.
+//
+// The O(n²) weight evaluations fan out over a bounded worker pool, one
+// row (fixed u, all v > u) at a time; rows are concatenated in u order,
+// so the edge list — and therefore the Blossom matching and every
+// downstream schedule — is identical to serial construction.
 func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 	maxSize := c.maxGroup()
-	var edges []blossom.Edge
-	for u := 0; u < len(nodes); u++ {
-		for v := u + 1; v < len(nodes); v++ {
+	n := len(nodes)
+	// Precompute node stats serially: mergeGain consults them from the
+	// workers, and filling them up front keeps the parallel phase
+	// read-only on shared node state.
+	for _, nd := range nodes {
+		c.nodeStats(nd)
+	}
+	rows := make([][]blossom.Edge, n)
+	row := func(u int) {
+		var edges []blossom.Edge
+		for v := u + 1; v < n; v++ {
 			if len(nodes[u].jobs)+len(nodes[v].jobs) > maxSize {
 				continue
 			}
-			w := c.Interleave.PairEfficiency(nodes[u].profiles, nodes[v].profiles)
+			w := c.Cache.PairEfficiency(c.Interleave, nodes[u].profiles, nodes[v].profiles)
 			if math.IsInf(w, -1) || w <= c.MinEfficiency {
 				continue
 			}
@@ -339,6 +385,39 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 			}
 			edges = append(edges, blossom.Edge{I: u, J: v, Weight: w})
 		}
+		rows[u] = edges
+	}
+	workers := c.edgeWorkers()
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers <= 1 || n < parallelEdgeThreshold {
+		for u := 0; u < n-1; u++ {
+			row(u)
+		}
+	} else {
+		// Dynamic row assignment: rows shrink as u grows, so a static
+		// split would leave the tail workers idle.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					u := int(next.Add(1)) - 1
+					if u >= n-1 {
+						return
+					}
+					row(u)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var edges []blossom.Edge
+	for _, r := range rows {
+		edges = append(edges, r...)
 	}
 	return edges
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"muri/internal/interleave"
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// mixedJobs builds a priority-ordered candidate set spanning the whole
+// zoo and several GPU buckets, with a little progress spread so GateJCT
+// sees varied remaining-iteration counts.
+func mixedJobs(n int) []*job.Job {
+	zoo := workload.Zoo()
+	gpuMix := []int{1, 1, 1, 1, 2, 2, 4, 8}
+	jobs := make([]*job.Job, n)
+	for i := 0; i < n; i++ {
+		j := job.New(job.ID(i), zoo[i%len(zoo)], gpuMix[i%len(gpuMix)], 50_000, 0)
+		j.DoneIterations = int64(i * 37 % 40_000)
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// groupsFingerprint renders a plan into a comparable string: member IDs
+// in plan order, plan timing, and GPU bucket per group.
+func groupsFingerprint(groups []Group) string {
+	s := ""
+	for _, g := range groups {
+		s += fmt.Sprintf("gpus=%d iter=%d eff=%.17g jobs=", g.GPUs, g.Plan.IterTime, g.Plan.Efficiency)
+		for _, j := range g.Jobs {
+			s += fmt.Sprintf("%d,", j.ID)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// TestPlanParallelAndCachedUnchanged is the determinism guard for the
+// scheduling-path overhaul: serial vs pooled edge construction, and
+// cacheless vs cached evaluation, must produce identical plans for every
+// gate. Run under -race this also exercises the worker pool for data
+// races (the node-stats precompute, the shared cache, the concurrent
+// RemainingIters calls).
+func TestPlanParallelAndCachedUnchanged(t *testing.T) {
+	remaining := func(j *job.Job) int64 {
+		if j.DoneIterations > 100 {
+			return j.DoneIterations
+		}
+		return 100
+	}
+	for _, gate := range []Gate{GateThroughput, GateJCT, GateNone} {
+		for _, capacity := range []int{0, 64} {
+			variant := func(workers int, cache *interleave.EffCache) string {
+				cfg := DefaultConfig()
+				cfg.Gate = gate
+				cfg.EdgeWorkers = workers
+				cfg.Cache = cache
+				if gate == GateJCT {
+					cfg.RemainingIters = remaining
+				}
+				return groupsFingerprint(cfg.Plan(mixedJobs(160), capacity))
+			}
+			base := variant(1, nil)
+			if base == "" {
+				t.Fatalf("gate %v cap %d: empty plan", gate, capacity)
+			}
+			for name, got := range map[string]string{
+				"parallel-nocache":   variant(8, nil),
+				"serial-cache":       variant(1, interleave.NewEffCache(0)),
+				"parallel-cache":     variant(8, interleave.NewEffCache(0)),
+				"parallel-tinycache": variant(8, interleave.NewEffCache(16)),
+			} {
+				if got != base {
+					t.Errorf("gate %v cap %d: %s plan differs from serial-nocache\nbase:\n%s\ngot:\n%s",
+						gate, capacity, name, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheReuseAcrossCalls checks that a warm cache actually short-
+// circuits work across scheduling intervals: the second Plan over the
+// same candidate profiles must be answered almost entirely from cache.
+func TestPlanCacheReuseAcrossCalls(t *testing.T) {
+	cfg := DefaultConfig()
+	jobs := mixedJobs(120)
+	cfg.Plan(jobs, 64)
+	st1 := cfg.Cache.Stats()
+	if st1.Lookups() == 0 {
+		t.Fatal("plan performed no cache lookups")
+	}
+	cfg.Plan(jobs, 64)
+	st2 := cfg.Cache.Stats()
+	if st2.Misses != st1.Misses {
+		t.Errorf("second plan missed the cache %d times; want 0 new misses", st2.Misses-st1.Misses)
+	}
+	if st2.Hits <= st1.Hits {
+		t.Errorf("second plan recorded no cache hits: %+v -> %+v", st1, st2)
+	}
+}
+
+// TestBucketEdgesParallelMatchesSerial drives bucketEdges directly at a
+// size above the parallel threshold and compares the edge lists.
+func TestBucketEdgesParallelMatchesSerial(t *testing.T) {
+	jobs := mixedJobs(100)
+	nodes := make([]*node, 0, len(jobs))
+	for _, j := range jobs {
+		if j.GPUs != 1 {
+			continue
+		}
+		nodes = append(nodes, &node{jobs: []*job.Job{j}, profiles: []workload.StageTimes{j.Profile}})
+	}
+	if len(nodes) < parallelEdgeThreshold {
+		t.Fatalf("need ≥%d nodes, have %d", parallelEdgeThreshold, len(nodes))
+	}
+	mk := func(workers int) Config {
+		cfg := DefaultConfig()
+		cfg.EdgeWorkers = workers
+		return cfg
+	}
+	// Fresh node copies per run: bucketEdges memoizes stats on the nodes.
+	clone := func() []*node {
+		out := make([]*node, len(nodes))
+		for i, n := range nodes {
+			out[i] = &node{jobs: n.jobs, profiles: n.profiles}
+		}
+		return out
+	}
+	serial := mk(1).bucketEdges(clone())
+	for _, workers := range []int{2, 4, 8} {
+		parallel := mk(workers).bucketEdges(clone())
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d edges, serial %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d: edge %d = %+v, serial %+v", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muri/internal/core"
@@ -196,6 +198,39 @@ type PolicyResult struct {
 	Series  metrics.Series
 }
 
+// forEach runs fn(i) for every i in [0, n) over a worker pool bounded by
+// GOMAXPROCS. Each index runs exactly once; fn must write its result to
+// an index-distinct slot so output order stays deterministic regardless
+// of completion order.
+func forEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // runPolicies executes each policy against the trace. Runs are
 // independent (each materializes its own jobs from the shared read-only
 // trace), so they execute concurrently.
@@ -335,34 +370,43 @@ func WriteSeriesCSV(w io.Writer, r PolicyResult) error {
 
 // sweepTraces runs the given policies over traces 1–4 and their
 // zero-submit variants, normalizing to ref. This is the engine behind
-// Figures 9 and 10.
+// Figures 9 and 10. The per-trace sweeps are independent, so they run
+// over the bounded forEach pool (each one fanning out further per
+// policy); results land in index-distinct slots and the table is
+// assembled serially afterwards, keeping row order deterministic.
 func (o Options) sweepTraces(title, ref string, policies func() []sched.Policy) ([]PolicyResult, Table) {
+	var variants []trace.Trace
+	for _, base := range o.traces() {
+		variants = append(variants, base, base.ZeroSubmit())
+	}
+	perTrace := make([][]PolicyResult, len(variants))
+	forEach(len(variants), func(i int) {
+		perTrace[i] = o.runPolicies(variants[i], 0, policies()...)
+	})
 	var all []PolicyResult
 	t := Table{
 		Title:  title,
 		Header: []string{"trace", "policy", "norm. JCT", "norm. makespan", "norm. p99 JCT"},
 	}
-	for _, base := range o.traces() {
-		for _, tr := range []trace.Trace{base, base.ZeroSubmit()} {
-			results := o.runPolicies(tr, 0, policies()...)
-			all = append(all, results...)
-			var refSum metrics.Summary
-			for _, r := range results {
-				if r.Policy == ref {
-					refSum = r.Summary
-				}
+	for i, tr := range variants {
+		results := perTrace[i]
+		all = append(all, results...)
+		var refSum metrics.Summary
+		for _, r := range results {
+			if r.Policy == ref {
+				refSum = r.Summary
 			}
-			for _, r := range results {
-				if r.Policy == ref {
-					continue
-				}
-				t.Rows = append(t.Rows, []string{
-					tr.Name, r.Policy,
-					f2(metrics.Speedup(r.Summary.AvgJCT, refSum.AvgJCT)),
-					f2(metrics.Speedup(r.Summary.Makespan, refSum.Makespan)),
-					f2(metrics.Speedup(r.Summary.P99JCT, refSum.P99JCT)),
-				})
+		}
+		for _, r := range results {
+			if r.Policy == ref {
+				continue
 			}
+			t.Rows = append(t.Rows, []string{
+				tr.Name, r.Policy,
+				f2(metrics.Speedup(r.Summary.AvgJCT, refSum.AvgJCT)),
+				f2(metrics.Speedup(r.Summary.Makespan, refSum.Makespan)),
+				f2(metrics.Speedup(r.Summary.P99JCT, refSum.P99JCT)),
+			})
 		}
 	}
 	return all, t
@@ -404,12 +448,17 @@ func (o Options) Figure11() ([]PolicyResult, Table) {
 		Title:  "Figure 11: scheduling-algorithm ablations (normalized to Muri-L)",
 		Header: []string{"trace", "variant", "norm. JCT", "norm. makespan"},
 	}
-	for _, tr := range o.traces() {
-		results := o.runPolicies(tr, 0,
+	traces := o.traces()
+	perTrace := make([][]PolicyResult, len(traces))
+	forEach(len(traces), func(i int) {
+		perTrace[i] = o.runPolicies(traces[i], 0,
 			sched.NewMuriL(),
 			muriLVariant("muri-l-worst-order", func(c *core.Config) { c.WorstOrdering = true }),
 			muriLVariant("muri-l-no-blossom", func(c *core.Config) { c.UseBlossom = false }),
 		)
+	})
+	for i, tr := range traces {
+		results := perTrace[i]
 		all = append(all, results...)
 		ref := results[0].Summary
 		for _, r := range results[1:] {
@@ -431,14 +480,21 @@ func (o Options) Figure12() ([]PolicyResult, Table) {
 		Title:  "Figure 12: jobs per group, zero-submit traces (normalized to AntMan)",
 		Header: []string{"trace", "policy", "norm. JCT", "norm. makespan"},
 	}
+	var traces []trace.Trace
 	for _, base := range o.traces() {
-		tr := base.ZeroSubmit()
-		results := o.runPolicies(tr, 0,
+		traces = append(traces, base.ZeroSubmit())
+	}
+	perTrace := make([][]PolicyResult, len(traces))
+	forEach(len(traces), func(i int) {
+		perTrace[i] = o.runPolicies(traces[i], 0,
 			sched.AntMan{},
 			muriLVariant("muri-l-2", func(c *core.Config) { c.MaxGroupSize = 2 }),
 			muriLVariant("muri-l-3", func(c *core.Config) { c.MaxGroupSize = 3 }),
 			muriLVariant("muri-l-4", func(c *core.Config) { c.MaxGroupSize = 4 }),
 		)
+	})
+	for i, tr := range traces {
+		results := perTrace[i]
 		all = append(all, results...)
 		ref := results[0].Summary
 		for _, r := range results[1:] {
@@ -465,13 +521,14 @@ type Figure13Result struct {
 // Muri's average-JCT speedup over SRTF (known durations) and Tiresias
 // (unknown durations).
 func (o Options) Figure13() ([]Figure13Result, Table) {
-	var out []Figure13Result
 	t := Table{
 		Title:  "Figure 13: impact of workload mix (average-JCT speedups)",
 		Header: []string{"job types", "muri-s / srtf", "muri-l / tiresias"},
 	}
 	base := trace.PhillyConfigs(o.capacity())[0]
-	for types := 1; types <= 4; types++ {
+	out := make([]Figure13Result, 4)
+	forEach(4, func(i int) {
+		types := i + 1
 		cfg := base
 		cfg.Name = fmt.Sprintf("mix%d", types)
 		cfg.JobTypes = types
@@ -482,16 +539,17 @@ func (o Options) Figure13() ([]Figure13Result, Table) {
 		for _, r := range results {
 			byName[r.Policy] = r.Summary
 		}
-		r := Figure13Result{
+		out[i] = Figure13Result{
 			JobTypes:       types,
 			SpeedupKnown:   metrics.Speedup(byName["srtf"].AvgJCT, byName["muri-s"].AvgJCT),
 			SpeedupUnknown: metrics.Speedup(byName["tiresias"].AvgJCT, byName["muri-l"].AvgJCT),
 			MuriS:          byName["muri-s"], SRTF: byName["srtf"],
 			MuriL: byName["muri-l"], Tiresias: byName["tiresias"],
 		}
-		out = append(out, r)
+	})
+	for _, r := range out {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(types), f2(r.SpeedupKnown), f2(r.SpeedupUnknown)})
+			fmt.Sprint(r.JobTypes), f2(r.SpeedupKnown), f2(r.SpeedupUnknown)})
 	}
 	return out, t
 }
@@ -512,17 +570,21 @@ func (o Options) Figure14() ([]Figure14Result, Table) {
 		cfg.Profiler = profile.New(noise, 1234)
 		return sim.Run(cfg, tr, sched.NewMuriL()).Summary
 	}
+	noises := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 	baseline := run(0)
+	summaries := make([]metrics.Summary, len(noises))
+	summaries[0] = baseline
+	// The noise-free baseline is shared; the noisy runs are independent.
+	forEach(len(noises)-1, func(i int) {
+		summaries[i+1] = run(noises[i+1])
+	})
 	var out []Figure14Result
 	t := Table{
 		Title:  "Figure 14: impact of profiling noise on Muri-L (normalized to noise-free)",
 		Header: []string{"noise", "norm. JCT", "norm. makespan"},
 	}
-	for _, noise := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
-		s := baseline
-		if noise > 0 {
-			s = run(noise)
-		}
+	for i, noise := range noises {
+		s := summaries[i]
 		r := Figure14Result{
 			Noise:        noise,
 			NormJCT:      metrics.Speedup(s.AvgJCT, baseline.AvgJCT),

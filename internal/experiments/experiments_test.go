@@ -183,3 +183,22 @@ func TestWriteSeriesCSV(t *testing.T) {
 		t.Errorf("data row has %d commas, want 8", got)
 	}
 }
+
+// TestSweepDeterministic guards the parallel per-trace harness: two runs
+// of the same sweep must render byte-identical tables regardless of how
+// the worker pool interleaves traces. Figure 9 exercises the generic
+// sweepTraces path, Figure 13 the indexed fan-out over job-type mixes.
+func TestSweepDeterministic(t *testing.T) {
+	opt := tiny()
+	opt.MaxJobs = 60
+	_, first := opt.Figure9()
+	_, second := opt.Figure9()
+	if first.String() != second.String() {
+		t.Errorf("Figure 9 sweep not deterministic:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	_, f13a := opt.Figure13()
+	_, f13b := opt.Figure13()
+	if f13a.String() != f13b.String() {
+		t.Errorf("Figure 13 sweep not deterministic:\n%s\nvs\n%s", f13a.String(), f13b.String())
+	}
+}

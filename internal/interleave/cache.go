@@ -1,0 +1,171 @@
+package interleave
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muri/internal/metrics"
+	"muri/internal/workload"
+)
+
+// DefaultCacheEntries is the per-generation size bound of an EffCache
+// built with NewEffCache(0). Two generations are resident at once, so the
+// worst-case footprint is 2× this many entries (~150 B each).
+const DefaultCacheEntries = 1 << 15
+
+// effKey canonically identifies a group-statistics computation: the
+// multiset of member profiles (sorted, so member order is irrelevant)
+// plus the contention overhead they were inflated with. Profiles are
+// immutable for a job's lifetime, which is what makes memoization across
+// Blossom rounds and scheduling intervals sound.
+type effKey struct {
+	n        int
+	overhead float64
+	profiles [MaxGroupSize]workload.StageTimes
+}
+
+// effEntry is a memoized best-ordering result. Only the scalar statistics
+// are stored: for a fixed profile multiset, efficiency is a strictly
+// decreasing function of iteration time (γ = Σ used / (k·T) with Σ used
+// fixed), so (T, γ) is unique across member orderings — the permutation
+// itself is not, and is recomputed where needed (group finalization).
+type effEntry struct {
+	iterTime time.Duration
+	eff      float64
+}
+
+// EffCache memoizes best-ordering group statistics — the quantity behind
+// PairEfficiency edge weights, node γ/T statistics, and the JCT merge
+// gate — keyed by the canonical profile multiset. It is safe for
+// concurrent use by the parallel grouping-graph workers.
+//
+// The size bound uses two generations (à la fastcache): inserts go to the
+// current generation; when it fills, the previous generation is dropped
+// and the current one rotates into its place. Hits in the old generation
+// re-promote the entry, so hot keys survive rotation. Resident entries
+// never exceed 2× the configured bound.
+//
+// Determinism invariant: a cached value is always bit-identical to the
+// fresh computation, so cache state (including which entries were
+// evicted) can never change a scheduling decision — only its cost.
+type EffCache struct {
+	mu   sync.RWMutex
+	max  int
+	cur  map[effKey]effEntry
+	old  map[effKey]effEntry
+	hits atomic.Uint64
+	miss atomic.Uint64
+	evic atomic.Uint64
+}
+
+// NewEffCache returns a cache bounded to maxEntries per generation
+// (≤ 2·maxEntries resident). maxEntries ≤ 0 uses DefaultCacheEntries.
+func NewEffCache(maxEntries int) *EffCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &EffCache{max: maxEntries, cur: make(map[effKey]effEntry)}
+}
+
+// lessStages orders stage-time vectors lexicographically in canonical
+// resource order.
+func lessStages(a, b workload.StageTimes) bool {
+	for r := 0; r < workload.NumResources; r++ {
+		if a[r] != b[r] {
+			return a[r] < b[r]
+		}
+	}
+	return false
+}
+
+// canonicalKey builds the sorted-multiset key for a group of profiles.
+func canonicalKey(overhead float64, times []workload.StageTimes) effKey {
+	k := effKey{n: len(times), overhead: overhead}
+	copy(k.profiles[:], times)
+	// Insertion sort: groups have at most MaxGroupSize (4) members.
+	for i := 1; i < k.n; i++ {
+		for j := i; j > 0 && lessStages(k.profiles[j], k.profiles[j-1]); j-- {
+			k.profiles[j], k.profiles[j-1] = k.profiles[j-1], k.profiles[j]
+		}
+	}
+	return k
+}
+
+// GroupStats returns the best-ordering iteration time and efficiency of
+// the group under cfg's contention model, memoizing by profile multiset.
+// A nil receiver computes fresh (no caching), so callers need not guard.
+func (ec *EffCache) GroupStats(cfg Config, times []workload.StageTimes) (time.Duration, float64) {
+	if ec == nil {
+		_, t, eff := BestOrdering(cfg.Inflate(times))
+		return t, eff
+	}
+	key := canonicalKey(cfg.Overhead, times)
+	ec.mu.RLock()
+	e, ok := ec.cur[key]
+	inOld := false
+	if !ok {
+		e, ok = ec.old[key]
+		inOld = ok
+	}
+	ec.mu.RUnlock()
+	if ok {
+		ec.hits.Add(1)
+		if inOld {
+			// Re-promote so hot keys survive the next rotation.
+			ec.put(key, e)
+		}
+		return e.iterTime, e.eff
+	}
+	ec.miss.Add(1)
+	_, t, eff := BestOrdering(cfg.Inflate(times))
+	ec.put(key, effEntry{iterTime: t, eff: eff})
+	return t, eff
+}
+
+// put inserts into the current generation, rotating generations when the
+// size bound is reached. Concurrent duplicate computes are idempotent:
+// every writer stores the same bit-identical value for a given key.
+func (ec *EffCache) put(key effKey, e effEntry) {
+	ec.mu.Lock()
+	if len(ec.cur) >= ec.max {
+		ec.evic.Add(uint64(len(ec.old)))
+		ec.old = ec.cur
+		ec.cur = make(map[effKey]effEntry, ec.max)
+	}
+	ec.cur[key] = e
+	ec.mu.Unlock()
+}
+
+// PairEfficiency is the memoized form of Config.PairEfficiency: the
+// best-ordering interleaving efficiency of the union of two candidate
+// member sets, or -Inf when the union exceeds MaxGroupSize. A nil
+// receiver computes fresh.
+func (ec *EffCache) PairEfficiency(cfg Config, a, b []workload.StageTimes) float64 {
+	n := len(a) + len(b)
+	if n > MaxGroupSize {
+		return math.Inf(-1)
+	}
+	var buf [MaxGroupSize]workload.StageTimes
+	copy(buf[:], a)
+	copy(buf[len(a):], b)
+	_, eff := ec.GroupStats(cfg, buf[:n])
+	return eff
+}
+
+// Stats snapshots the cache counters. Safe on a nil receiver.
+func (ec *EffCache) Stats() metrics.CacheStats {
+	if ec == nil {
+		return metrics.CacheStats{}
+	}
+	ec.mu.RLock()
+	entries := len(ec.cur) + len(ec.old)
+	ec.mu.RUnlock()
+	return metrics.CacheStats{
+		Hits:      ec.hits.Load(),
+		Misses:    ec.miss.Load(),
+		Evictions: ec.evic.Load(),
+		Entries:   entries,
+	}
+}

@@ -161,3 +161,28 @@ func Speedup(baseline, x time.Duration) float64 {
 	}
 	return float64(baseline) / float64(x)
 }
+
+// CacheStats is a point-in-time snapshot of a memo cache's counters (the
+// scheduling path's pair-efficiency cache reports through this type; see
+// DESIGN.md "Performance architecture").
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that had to compute the value fresh.
+	Misses uint64
+	// Evictions counts entries discarded to honor the size bound.
+	Evictions uint64
+	// Entries is the number of entries currently resident.
+	Entries int
+}
+
+// Lookups returns the total number of cache queries.
+func (s CacheStats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits/Lookups, or 0 when the cache was never queried.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
+	"strconv"
 	"time"
 
 	"muri/internal/cluster"
@@ -116,17 +116,68 @@ type unit struct {
 	iterTime []time.Duration
 	// carry is the fractional-iteration progress per member.
 	carry []float64
+	// estAt memoizes the earliest absolute completion among live members
+	// (-1 when none can complete). It is valid only while estValid holds,
+	// i.e. until the next progress credit, retime, or member change —
+	// any of which must call invalidate(). While the cache is valid the
+	// unit's state is frozen (typically restart overhead still pending),
+	// so the memo is bit-identical to a fresh scan at any query time.
+	estAt    time.Duration
+	estValid bool
+}
+
+// invalidate drops the unit's memoized completion estimate. Every
+// mutation of carry, iterTime, readyAt, or membership goes through here.
+func (u *unit) invalidate() { u.estValid = false }
+
+// earliest returns the soonest absolute completion among the unit's live
+// members as of query time now, memoized until the unit next changes.
+// Member order and strict-< selection mirror the historical full rescan,
+// so ties break identically.
+func (u *unit) earliest(now time.Duration) (time.Duration, bool) {
+	if !u.estValid {
+		start := now
+		if u.readyAt > start {
+			start = u.readyAt
+		}
+		u.estAt = -1
+		for i, j := range u.spec.Jobs {
+			if j.State == job.Done || u.iterTime[i] <= 0 {
+				continue
+			}
+			remaining := float64(j.RemainingIterations()) - u.carry[i]
+			if remaining < 0 {
+				remaining = 0
+			}
+			at := start + time.Duration(remaining*float64(u.iterTime[i]))
+			if u.estAt < 0 || at < u.estAt {
+				u.estAt = at
+			}
+		}
+		u.estValid = true
+	}
+	return u.estAt, u.estAt >= 0
 }
 
 // key identifies a unit by its member set, so the simulator can detect
 // composition changes across intervals (which force restarts).
 func unitKey(u sched.Unit) string {
-	ids := make([]string, len(u.Jobs))
+	ids := make([]int64, len(u.Jobs))
 	for i, j := range u.Jobs {
-		ids[i] = fmt.Sprint(j.ID)
+		ids[i] = int64(j.ID)
 	}
-	sort.Strings(ids)
-	return u.Mode.String() + ":" + strings.Join(ids, ",")
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	mode := u.Mode.String()
+	buf := make([]byte, 0, len(mode)+1+8*len(ids))
+	buf = append(buf, mode...)
+	buf = append(buf, ':')
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, id, 10)
+	}
+	return string(buf)
 }
 
 // memberIterTimes computes each member's effective iteration time under
@@ -295,27 +346,16 @@ func (s *sim) loop() {
 }
 
 // earliestCompletion predicts the soonest member completion across all
-// running units, for event-driven rescheduling.
+// running units, for event-driven rescheduling. Per-unit estimates are
+// memoized (unit.earliest) and recomputed only for units that changed
+// since the last query, so units idling through restart overhead — and
+// anything else untouched across wake-ups — cost nothing to rescan.
 func (s *sim) earliestCompletion() (time.Duration, bool) {
 	var best time.Duration
 	found := false
 	for _, u := range s.running {
-		start := s.now
-		if u.readyAt > start {
-			start = u.readyAt
-		}
-		for i, j := range u.spec.Jobs {
-			if j.State == job.Done || u.iterTime[i] <= 0 {
-				continue
-			}
-			remaining := float64(j.RemainingIterations()) - u.carry[i]
-			if remaining < 0 {
-				remaining = 0
-			}
-			at := start + time.Duration(remaining*float64(u.iterTime[i]))
-			if !found || at < best {
-				best, found = at, true
-			}
+		if at, ok := u.earliest(s.now); ok && (!found || at < best) {
+			best, found = at, true
 		}
 	}
 	return best, found
@@ -542,8 +582,14 @@ func (s *sim) advance(deadline time.Duration) {
 			s.nextSample += s.cfg.SampleEvery
 		}
 	}
+	doneBefore := len(s.done)
 	for _, u := range s.running {
 		s.advanceUnit(u, s.now, deadline)
+	}
+	if len(s.done) == doneBefore {
+		// Nothing completed, so every unit's membership is unchanged:
+		// skip the compaction pass (and its per-unit reallocations).
+		return
 	}
 	// Drop units whose members all finished; release their GPUs.
 	var still []*unit
@@ -565,6 +611,7 @@ func (s *sim) advance(deadline time.Duration) {
 		u.spec.Jobs = live
 		u.iterTime = liveTimes
 		u.carry = liveCarry
+		u.invalidate()
 		still = append(still, u)
 	}
 	s.running = still
@@ -645,6 +692,7 @@ func (s *sim) credit(u *unit, live []int, from, to time.Duration) {
 	if dt <= 0 {
 		return
 	}
+	u.invalidate()
 	for _, i := range live {
 		j := u.spec.Jobs[i]
 		if u.iterTime[i] <= 0 {
@@ -663,6 +711,7 @@ func (s *sim) credit(u *unit, live []int, from, to time.Duration) {
 // retime recomputes member iteration times after a completion shrinks the
 // unit (survivors speed up: fewer members to interleave or contend with).
 func (s *sim) retime(u *unit) {
+	u.invalidate()
 	var live []*job.Job
 	for _, j := range u.spec.Jobs {
 		if j.State != job.Done {
