@@ -1,13 +1,17 @@
 # Development entry points. `make check` is the gate every change must
-# pass: build, vet, and the full test suite under the race detector
-# (the scheduling path runs worker pools and a shared cache, so -race is
-# not optional).
+# pass: gofmt, build, vet, and the full test suite under the race
+# detector (the scheduling path runs worker pools and a shared cache, so
+# -race is not optional).
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sched clean
+.PHONY: check fmt build vet test race bench bench-sched bench-sched-scale bench-sched-scale-quick clean
 
-check: build vet race
+check: fmt build vet race
+
+# Fail if any file needs reformatting (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,12 +25,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Scheduling-path microbenchmarks (ns/op plus cache-hit-rate), captured
-# as a machine-readable stream in BENCH_sched.json for before/after
-# comparison. See DESIGN.md "Performance architecture".
+# Scheduling-path microbenchmarks (ns/op, allocs/op, B/op, plus
+# cache/pool hit rates), captured as a machine-readable stream in
+# BENCH_sched.json for before/after comparison. See DESIGN.md
+# "Performance architecture" and §6.
 bench-sched:
 	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability' \
-		-benchtime 3x -json . | tee BENCH_sched.json
+		-benchtime 3x -benchmem -json . | tee BENCH_sched.json
+
+# End-to-end scale runs: the 2,000- and 5,755-job Philly traces replayed
+# through the event-driven simulator under Muri-L, appended to
+# BENCH_sched.json. Use bench-sched-scale-quick (truncated traces, no
+# record) for a smoke run.
+bench-sched-scale:
+	$(GO) test -run '^$$' -bench 'SchedScale' -benchtime 1x -benchmem -timeout 60m -json . | tee -a BENCH_sched.json
+
+bench-sched-scale-quick:
+	$(GO) run ./cmd/murisim -experiment scale -quick
 
 # Full evaluation benchmark sweep (regenerates every table/figure once).
 bench:

@@ -348,6 +348,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// benchSchedScale replays one full Philly trace end-to-end through the
+// event-driven simulator under Muri-L — the whole-system scale runs
+// `make bench-sched-scale` appends to BENCH_sched.json. Heap and
+// matcher-pool counters are reported so the record tracks how hard the
+// scheduling-path machinery worked, not just how long.
+func benchSchedScale(b *testing.B, traceIdx int) {
+	tr := trace.Generate(trace.PhillyConfigs(64)[traceIdx])
+	cfg := sim.DefaultConfig()
+	cfg.EventDriven = true
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = sim.Run(cfg, tr, sched.NewMuriL())
+		if res.Summary.Jobs != len(tr.Specs) {
+			b.Fatalf("incomplete run: %d/%d jobs", res.Summary.Jobs, len(tr.Specs))
+		}
+	}
+	b.ReportMetric(float64(res.Heap.Peak), "heap-peak")
+	b.ReportMetric(float64(res.Heap.Rebuilds), "heap-rebuilds")
+	b.ReportMetric(float64(res.Heap.Fixes), "heap-fixes")
+	b.ReportMetric(blossom.PoolStats().HitRate(), "pool-hit-rate")
+}
+
+// BenchmarkSchedScale2000 is the trace2 (2,000 jobs) end-to-end run.
+func BenchmarkSchedScale2000(b *testing.B) { benchSchedScale(b, 1) }
+
+// BenchmarkSchedScale5755 is the trace4 (5,755 jobs) end-to-end run —
+// the paper's largest trace, exercising sparse grouping, the pooled
+// matcher, and the completion heap at full scale.
+func BenchmarkSchedScale5755(b *testing.B) { benchSchedScale(b, 3) }
+
 // BenchmarkAblationStickiness compares Muri-L with and without sticky
 // groups: keeping a surviving group together across intervals avoids the
 // kill/relaunch churn of rematching from scratch.
@@ -463,6 +494,24 @@ func BenchmarkPlanLarge(b *testing.B) {
 		}
 	}
 	b.ReportMetric(cfg.Cache.Stats().HitRate(), "cache-hit-rate")
+}
+
+// BenchmarkPlanLarge2000 is the Philly-trace-2 scale point (2,000 jobs):
+// its single-GPU bucket crosses the sparsification threshold, so this is
+// the benchmark that exercises sparse candidate graphs plus the pooled
+// matcher end-to-end. Reports matcher-pool reuse alongside the cache hit
+// rate.
+func BenchmarkPlanLarge2000(b *testing.B) {
+	jobs := benchMixedJobs(2000)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(cfg.Plan(jobs, 64)) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+	b.ReportMetric(cfg.Cache.Stats().HitRate(), "cache-hit-rate")
+	b.ReportMetric(blossom.PoolStats().HitRate(), "pool-hit-rate")
 }
 
 // BenchmarkScheduleHotLoop times the full Muri-S policy hot path (sort,

@@ -9,7 +9,12 @@
 //	murisim -experiment figure10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, table2, table4, table5, figure8, figure9,
-// figure10, figure11, figure12, figure13, figure14, all.
+// figure10, figure11, figure12, figure13, figure14, fidelity, scale, all.
+//
+// The scale experiment replays the 2,000- and 5,755-job Philly traces
+// end-to-end (event-driven Muri-L) and reports wall-clock time alongside
+// the scheduling-path counters; `-quick` truncates the traces like every
+// other experiment.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (inspect
 // with `go tool pprof`), so scheduling-path regressions can be diagnosed
@@ -115,6 +120,7 @@ func main() {
 		{"figure12", func() experiments.Table { _, t := opt.Figure12(); return t }},
 		{"figure13", func() experiments.Table { _, t := opt.Figure13(); return t }},
 		{"figure14", func() experiments.Table { _, t := opt.Figure14(); return t }},
+		{"scale", func() experiments.Table { _, t := opt.Scale(); return t }},
 		{"fidelity", func() experiments.Table {
 			res, err := experiments.RunFidelity(experiments.DefaultFidelityConfig())
 			if err != nil {

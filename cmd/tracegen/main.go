@@ -4,19 +4,44 @@
 //
 //	tracegen -jobs 992 -seed 1 -interarrival 90s > trace1.csv
 //	tracegen -jobs 400 -zero-submit -types 2 -o trace.csv
+//	tracegen -preset philly-5755 -o trace4.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"muri/internal/trace"
 )
 
+// presetConfig resolves -preset names to the standard evaluation traces:
+// philly-992, philly-2000, philly-3500, and philly-5755 are the four
+// PhillyConfigs scale points (by job count), seeded and parameterized
+// exactly as the benchmark suite generates them.
+func presetConfig(name string, maxGPUs int) (trace.GenConfig, bool) {
+	for _, cfg := range trace.PhillyConfigs(maxGPUs) {
+		if name == fmt.Sprintf("philly-%d", cfg.Jobs) {
+			return cfg, true
+		}
+	}
+	return trace.GenConfig{}, false
+}
+
+// presetNames lists the accepted -preset values.
+func presetNames(maxGPUs int) string {
+	var names []string
+	for _, cfg := range trace.PhillyConfigs(maxGPUs) {
+		names = append(names, fmt.Sprintf("philly-%d", cfg.Jobs))
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
+		preset       = flag.String("preset", "", "standard trace preset ("+presetNames(64)+"); overrides jobs/seed/interarrival/median/maxdur/types")
 		jobs         = flag.Int("jobs", 992, "number of jobs")
 		seed         = flag.Int64("seed", 1, "RNG seed")
 		interarrival = flag.Duration("interarrival", 90*time.Second, "mean job inter-arrival time")
@@ -32,7 +57,7 @@ func main() {
 	)
 	flag.Parse()
 
-	tr := trace.Generate(trace.GenConfig{
+	cfg := trace.GenConfig{
 		Name:             *name,
 		Jobs:             *jobs,
 		Seed:             *seed,
@@ -41,7 +66,19 @@ func main() {
 		MaxDuration:      *maxDur,
 		MaxGPUs:          *maxGPUs,
 		JobTypes:         *types,
-	})
+	}
+	if *preset != "" {
+		pc, ok := presetConfig(*preset, *maxGPUs)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q (have %s)\n", *preset, presetNames(*maxGPUs))
+			os.Exit(2)
+		}
+		if *name != "trace" {
+			pc.Name = *name
+		}
+		cfg = pc
+	}
+	tr := trace.Generate(cfg)
 	if *zeroSubmit {
 		tr = tr.ZeroSubmit()
 	}

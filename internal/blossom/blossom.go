@@ -29,18 +29,28 @@ type Edge struct {
 // Self-loops are rejected by panic; duplicate edges are allowed (only one
 // can be used). Negative weights are allowed and simply never selected
 // unless maxCardinality forces them.
+//
+// This one-shot form allocates fresh state per call. Hot paths that match
+// repeatedly should use MatchPooled (or a long-lived Matcher), which
+// reuses state slices across calls and returns bit-identical matchings.
 func MaxWeightMatching(n int, edges []Edge, maxCardinality bool) []int {
-	m := newMatcher(n, edges, maxCardinality)
-	return m.solve()
+	var m Matcher
+	m.Reset(n, edges)
+	return m.Solve(maxCardinality)
 }
 
-// matcher carries the full algorithm state. Vertex indices are 0..n-1;
+// Matcher carries the full algorithm state. Vertex indices are 0..n-1;
 // blossom indices are 0..2n-1 (the first n are trivial single-vertex
 // blossoms).
-type matcher struct {
-	n       int
-	edges   []Edge
-	maxCard bool
+//
+// The zero value is ready for use. Reset prepares the matcher for a graph
+// and Solve computes the matching; a Matcher may be Reset and solved any
+// number of times, reusing its state slices, and every solve is
+// bit-identical to a fresh MaxWeightMatching call on the same input. A
+// Matcher is not safe for concurrent use.
+type Matcher struct {
+	n     int
+	edges []Edge
 
 	// endpoint[p] is the vertex at endpoint p; edge k has endpoints 2k
 	// (vertex edges[k].I) and 2k+1 (vertex edges[k].J).
@@ -78,8 +88,14 @@ type matcher struct {
 	queue     []int
 }
 
-func newMatcher(n int, edges []Edge, maxCard bool) *matcher {
-	m := &matcher{n: n, edges: edges, maxCard: maxCard}
+// Reset prepares the matcher for the graph with n vertices and the given
+// edges, reusing state-slice capacity left over from earlier solves. The
+// edges slice is retained (read-only) until the next Reset; it is never
+// mutated. The resulting state is identical to a freshly constructed
+// matcher's.
+func (m *Matcher) Reset(n int, edges []Edge) {
+	m.n = n
+	m.edges = edges
 	nedge := len(edges)
 	maxWeight := 0.0
 	for _, e := range edges {
@@ -93,42 +109,101 @@ func newMatcher(n int, edges []Edge, maxCard bool) *matcher {
 			maxWeight = e.Weight
 		}
 	}
-	m.endpoint = make([]int, 2*nedge)
+	m.endpoint = resizeInts(m.endpoint, 2*nedge, 0)
 	for k, e := range edges {
 		m.endpoint[2*k] = e.I
 		m.endpoint[2*k+1] = e.J
 	}
-	m.neighbend = make([][]int, n)
+	m.neighbend = resizeLists(m.neighbend, n)
 	for k, e := range edges {
 		m.neighbend[e.I] = append(m.neighbend[e.I], 2*k+1)
 		m.neighbend[e.J] = append(m.neighbend[e.J], 2*k)
 	}
-	m.mate = fill(n, -1)
-	m.label = make([]int, 2*n)
-	m.labelend = fill(2*n, -1)
-	m.inblossom = make([]int, n)
+	m.mate = resizeInts(m.mate, n, -1)
+	m.label = resizeInts(m.label, 2*n, 0)
+	m.labelend = resizeInts(m.labelend, 2*n, -1)
+	m.inblossom = resizeInts(m.inblossom, n, 0)
 	for v := range m.inblossom {
 		m.inblossom[v] = v
 	}
-	m.blossomparent = fill(2*n, -1)
-	m.blossomchilds = make([][]int, 2*n)
-	m.blossombase = fill(2*n, -1)
+	m.blossomparent = resizeInts(m.blossomparent, 2*n, -1)
+	m.blossomchilds = clearLists(m.blossomchilds, 2*n)
+	m.blossombase = resizeInts(m.blossombase, 2*n, -1)
 	for v := 0; v < n; v++ {
 		m.blossombase[v] = v
 	}
-	m.blossomendps = make([][]int, 2*n)
-	m.bestedge = fill(2*n, -1)
-	m.blossombestedges = make([][]int, 2*n)
-	m.unusedblossoms = make([]int, 0, n)
+	m.blossomendps = clearLists(m.blossomendps, 2*n)
+	m.bestedge = resizeInts(m.bestedge, 2*n, -1)
+	m.blossombestedges = clearLists(m.blossombestedges, 2*n)
+	m.unusedblossoms = m.unusedblossoms[:0]
 	for b := n; b < 2*n; b++ {
 		m.unusedblossoms = append(m.unusedblossoms, b)
 	}
-	m.dualvar = make([]float64, 2*n)
+	if cap(m.dualvar) < 2*n {
+		m.dualvar = make([]float64, 2*n)
+	} else {
+		m.dualvar = m.dualvar[:2*n]
+	}
 	for v := 0; v < n; v++ {
 		m.dualvar[v] = maxWeight
 	}
-	m.allowedge = make([]bool, nedge)
-	return m
+	for b := n; b < 2*n; b++ {
+		m.dualvar[b] = 0
+	}
+	if cap(m.allowedge) < nedge {
+		m.allowedge = make([]bool, nedge)
+	} else {
+		m.allowedge = m.allowedge[:nedge]
+		for k := range m.allowedge {
+			m.allowedge[k] = false
+		}
+	}
+	m.queue = m.queue[:0]
+}
+
+// resizeInts returns s resized to length n with every element set to v,
+// reusing capacity when possible.
+func resizeInts(s []int, n, v int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// resizeLists returns s resized to n entries, each truncated to length
+// zero but keeping its backing array for append reuse.
+func resizeLists(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		grown := make([][]int, n)
+		copy(grown, s[:cap(s)])
+		s = grown
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// clearLists returns s resized to n entries, each set to nil — parts of
+// the algorithm distinguish a nil list from an empty one (addBlossom's
+// blossombestedges fallback), so these must match fresh construction
+// exactly.
+func clearLists(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
 }
 
 func fill(n, v int) []int {
@@ -141,13 +216,13 @@ func fill(n, v int) []int {
 
 // slack returns the slack of edge k: zero slack means the edge is tight
 // and can join the alternating forest.
-func (m *matcher) slack(k int) float64 {
+func (m *Matcher) slack(k int) float64 {
 	e := m.edges[k]
 	return m.dualvar[e.I] + m.dualvar[e.J] - 2*e.Weight
 }
 
 // blossomLeaves appends all vertices inside blossom b to out.
-func (m *matcher) blossomLeaves(b int, out *[]int) {
+func (m *Matcher) blossomLeaves(b int, out *[]int) {
 	if b < m.n {
 		*out = append(*out, b)
 		return
@@ -159,7 +234,7 @@ func (m *matcher) blossomLeaves(b int, out *[]int) {
 
 // assignLabel labels the top-level blossom containing vertex w with label t
 // (1=S, 2=T), reached through endpoint p.
-func (m *matcher) assignLabel(w, t, p int) {
+func (m *Matcher) assignLabel(w, t, p int) {
 	b := m.inblossom[w]
 	if m.label[w] != 0 || m.label[b] != 0 {
 		panic("blossom: assignLabel to labeled vertex")
@@ -185,7 +260,7 @@ func (m *matcher) assignLabel(w, t, p int) {
 
 // scanBlossom traces back from vertices v and w to discover either a new
 // blossom (returns its base) or an augmenting path (returns -1).
-func (m *matcher) scanBlossom(v, w int) int {
+func (m *Matcher) scanBlossom(v, w int) int {
 	var path []int
 	base := -1
 	for v != -1 || w != -1 {
@@ -222,7 +297,7 @@ func (m *matcher) scanBlossom(v, w int) int {
 
 // addBlossom constructs a new blossom with base vertex `base`, through edge
 // k, which connects a pair of S vertices.
-func (m *matcher) addBlossom(base, k int) {
+func (m *Matcher) addBlossom(base, k int) {
 	v, w := m.edges[k].I, m.edges[k].J
 	bb := m.inblossom[base]
 	bv := m.inblossom[v]
@@ -324,7 +399,7 @@ func (m *matcher) addBlossom(base, k int) {
 
 // expandBlossom undoes blossom b, either because its dual hit zero during
 // dual adjustment or at the end of a stage (endstage).
-func (m *matcher) expandBlossom(b int, endstage bool) {
+func (m *Matcher) expandBlossom(b int, endstage bool) {
 	for _, s := range m.blossomchilds[b] {
 		m.blossomparent[s] = -1
 		if s < m.n {
@@ -414,7 +489,7 @@ func (m *matcher) expandBlossom(b int, endstage bool) {
 
 // augmentBlossom swaps matched and unmatched edges inside blossom b so that
 // vertex v becomes the blossom's base.
-func (m *matcher) augmentBlossom(b, v int) {
+func (m *Matcher) augmentBlossom(b, v int) {
 	t := v
 	for m.blossomparent[t] != b {
 		t = m.blossomparent[t]
@@ -459,7 +534,7 @@ func (m *matcher) augmentBlossom(b, v int) {
 }
 
 // augmentMatching augments the matching along the path through edge k.
-func (m *matcher) augmentMatching(k int) {
+func (m *Matcher) augmentMatching(k int) {
 	for _, se := range [2][2]int{{m.edges[k].I, 2*k + 1}, {m.edges[k].J, 2 * k}} {
 		s, p := se[0], se[1]
 		for {
@@ -496,7 +571,11 @@ func (m *matcher) augmentMatching(k int) {
 	}
 }
 
-func (m *matcher) solve() []int {
+// Solve computes the matching on the graph prepared by the last Reset and
+// returns mate as a freshly allocated slice (never aliased to matcher
+// state, so callers may retain or mutate it). Solve consumes the prepared
+// state; call Reset again before the next Solve.
+func (m *Matcher) Solve(maxCardinality bool) []int {
 	if len(m.edges) == 0 || m.n == 0 {
 		return fill(m.n, -1)
 	}
@@ -582,7 +661,7 @@ func (m *matcher) solve() []int {
 			deltatype := -1
 			var delta float64
 			var deltaedge, deltablossom int
-			if !m.maxCard {
+			if !maxCardinality {
 				deltatype = 1
 				delta = maxf(0, minDual(m.dualvar[:m.n]))
 			}

@@ -1,0 +1,44 @@
+package blossom
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"muri/internal/metrics"
+)
+
+// matcherPool recycles Matcher state across MatchPooled calls. The
+// grouping planner matches every GPU bucket every round every scheduling
+// interval; recycling keeps the ~15 state slices warm instead of
+// reallocating them per call.
+var (
+	matcherPool = sync.Pool{New: func() any {
+		poolNews.Add(1)
+		return new(Matcher)
+	}}
+	poolGets atomic.Uint64
+	poolNews atomic.Uint64
+)
+
+// MatchPooled is MaxWeightMatching on pool-backed reusable state. The
+// matching is bit-identical to the one-shot form (Reset restores exact
+// fresh-construction state; see TestMatchPooledEquivalence). Contract: the
+// caller's edges slice is read during the call only — the pooled matcher
+// drops its reference before returning — and the returned mate slice is
+// freshly allocated, so callers may retain or mutate both freely.
+func MatchPooled(n int, edges []Edge, maxCardinality bool) []int {
+	poolGets.Add(1)
+	m := matcherPool.Get().(*Matcher)
+	m.Reset(n, edges)
+	out := m.Solve(maxCardinality)
+	m.edges = nil
+	matcherPool.Put(m)
+	return out
+}
+
+// PoolStats snapshots the matcher-pool counters: Gets counts MatchPooled
+// calls, News the subset that had to construct a fresh Matcher. The
+// difference is the number of calls that reused recycled state.
+func PoolStats() metrics.MatcherPoolStats {
+	return metrics.MatcherPoolStats{Gets: poolGets.Load(), News: poolNews.Load()}
+}

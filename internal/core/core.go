@@ -63,6 +63,53 @@ type Config struct {
 	// edge weights. 0 uses GOMAXPROCS; 1 forces serial construction.
 	// Edges are collected in deterministic (u,v) order either way.
 	EdgeWorkers int
+	// SparseTopK bounds the grouping graph handed to the Blossom matcher
+	// in sparse mode: each node contributes only its SparseTopK
+	// highest-efficiency candidate edges, and an edge survives when either
+	// endpoint ranks it. Zero uses DefaultSparseTopK.
+	SparseTopK int
+	// SparseNodeThreshold is the bucket node count at or above which
+	// candidate graphs are sparsified before matching. Below it the full
+	// gated graph is matched exactly, so small-bucket schedules are
+	// bit-identical to exhaustive construction. Zero uses
+	// DefaultSparseNodeThreshold; negative disables sparsification
+	// entirely (exact mode at every scale).
+	SparseNodeThreshold int
+}
+
+// Sparsification defaults: Philly-scale buckets (≳1,000 single-GPU jobs)
+// produce O(n²)-edge graphs whose O(V³) matching dominates planning; the
+// top-16 candidate graph keeps total matching weight within a small bound
+// of exact (TestSparseMatchingWeightBound, DESIGN.md §6) at O(n·k) edges.
+const (
+	// DefaultSparseTopK is the per-node candidate bound in sparse mode.
+	DefaultSparseTopK = 16
+	// DefaultSparseNodeThreshold is the bucket size at which
+	// sparsification engages; buckets the paper's own scales produce per
+	// scheduling interval (CandidateFactor × capacity) stay below it and
+	// remain exact.
+	DefaultSparseNodeThreshold = 256
+)
+
+// sparseTopK resolves the configured per-node candidate bound.
+func (c Config) sparseTopK() int {
+	if c.SparseTopK > 0 {
+		return c.SparseTopK
+	}
+	return DefaultSparseTopK
+}
+
+// sparseThreshold resolves the bucket size at which sparse mode engages;
+// math.MaxInt means never (exact mode).
+func (c Config) sparseThreshold() int {
+	switch {
+	case c.SparseNodeThreshold > 0:
+		return c.SparseNodeThreshold
+	case c.SparseNodeThreshold < 0:
+		return math.MaxInt
+	default:
+		return DefaultSparseNodeThreshold
+	}
 }
 
 // Gate chooses how a candidate merge is judged beneficial before it can
@@ -371,7 +418,10 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 	}
 	rows := make([][]blossom.Edge, n)
 	row := func(u int) {
-		var edges []blossom.Edge
+		// One exact-capacity allocation per row: append-growth churn on
+		// the hot path costs more than the (short-lived) overshoot for
+		// rows the gate thins out.
+		edges := make([]blossom.Edge, 0, n-u-1)
 		for v := u + 1; v < n; v++ {
 			if len(nodes[u].jobs)+len(nodes[v].jobs) > maxSize {
 				continue
@@ -415,11 +465,124 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 		}
 		wg.Wait()
 	}
-	var edges []blossom.Edge
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	edges := make([]blossom.Edge, 0, total)
 	for _, r := range rows {
 		edges = append(edges, r...)
 	}
+	if k := c.sparseTopK(); n >= c.sparseThreshold() && k < n-1 {
+		edges = sparsifyEdges(edges, n, k)
+	}
 	return edges
+}
+
+// sparsifyEdges keeps, for every node, its k highest-weight incident
+// edges; an edge survives when either endpoint ranks it among its top k.
+// The survivors keep the input's deterministic u-major (u,v) order, and
+// per-node ranking breaks weight ties by lower edge index — i.e. by
+// lexicographic (u,v) — so the sparse graph is a pure function of the
+// dense one. The input slice is filtered in place.
+func sparsifyEdges(edges []blossom.Edge, n, k int) []blossom.Edge {
+	// CSR incidence index: deg doubles as the prefix-offset array.
+	deg := make([]int, n+1)
+	for _, e := range edges {
+		deg[e.I+1]++
+		deg[e.J+1]++
+	}
+	needSelect := false
+	for v := 1; v <= n; v++ {
+		if deg[v] > k {
+			needSelect = true
+		}
+		deg[v] += deg[v-1]
+	}
+	if !needSelect {
+		return edges
+	}
+	incident := make([]int32, 2*len(edges))
+	next := make([]int, n)
+	copy(next, deg[:n])
+	for i, e := range edges {
+		incident[next[e.I]] = int32(i)
+		next[e.I]++
+		incident[next[e.J]] = int32(i)
+		next[e.J]++
+	}
+	keep := make([]bool, len(edges))
+	// top is the reusable top-k selection buffer, kept sorted by
+	// (weight desc, edge index asc). Insertion selection beats sort.Slice
+	// here: k is small, most candidates lose to the current k-th entry
+	// after warm-up, and no per-node closure or swapper is allocated.
+	top := make([]int32, 0, k)
+	ranksAbove := func(a, b int32) bool {
+		wa, wb := edges[a].Weight, edges[b].Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return a < b
+	}
+	for v := 0; v < n; v++ {
+		ids := incident[deg[v]:deg[v+1]]
+		if len(ids) <= k {
+			for _, id := range ids {
+				keep[id] = true
+			}
+			continue
+		}
+		top = top[:0]
+		for _, id := range ids {
+			if len(top) == k && !ranksAbove(id, top[k-1]) {
+				continue
+			}
+			pos := len(top)
+			for pos > 0 && ranksAbove(id, top[pos-1]) {
+				pos--
+			}
+			if len(top) < k {
+				top = append(top, 0)
+			}
+			copy(top[pos+1:], top[pos:])
+			top[pos] = id
+		}
+		for _, id := range top {
+			keep[id] = true
+		}
+	}
+	out := edges[:0]
+	for i := range edges {
+		if keep[i] {
+			out = append(out, edges[i])
+		}
+	}
+	return out
+}
+
+// maxCapacitySweeps bounds the merge passes of capacity-constrained
+// planning. Partial acceptance can need more than the classic ⌈log₂k⌉
+// rounds before group sizes saturate; every accepted merge strictly
+// reduces demand, so the loop terminates regardless. Bound it generously.
+const maxCapacitySweeps = 64
+
+// roundSetup computes the state shared by the multi-round planners:
+// bucket keys in descending GPU order, the summed GPU demand of all
+// nodes, whether capacityGPUs actually constrains merging, and the round
+// budget (the classic ⌈log₂k⌉ bound when unconstrained, maxCapacitySweeps
+// otherwise).
+func (c Config) roundSetup(buckets map[int][]*node, capacityGPUs int) (keys []int, demand int, unconstrained bool, maxRounds int) {
+	for gpus, nodes := range buckets {
+		keys = append(keys, gpus)
+		demand += gpus * len(nodes)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	unconstrained = capacityGPUs <= 0
+	maxRounds = c.rounds()
+	if !unconstrained {
+		maxRounds = maxCapacitySweeps
+	}
+	return keys, demand, unconstrained, maxRounds
 }
 
 // planRounds runs the capacity-aware multi-round matching over all GPU
@@ -432,21 +595,7 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 // constraint (classic Algorithm 1: merge every beneficial pair for
 // log₂k rounds).
 func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
-	demand := 0
-	var keys []int
-	for gpus, nodes := range buckets {
-		keys = append(keys, gpus)
-		demand += gpus * len(nodes)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
-	unconstrained := capacityGPUs <= 0
-	maxRounds := c.rounds()
-	if !unconstrained {
-		// Partial acceptance can need extra passes before group sizes
-		// saturate; every accepted merge strictly reduces demand, so the
-		// loop terminates regardless. Bound it generously.
-		maxRounds = 64
-	}
+	keys, demand, unconstrained, maxRounds := c.roundSetup(buckets, capacityGPUs)
 	for round := 0; round < maxRounds; round++ {
 		if !unconstrained && demand <= capacityGPUs {
 			break
@@ -461,19 +610,19 @@ func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
 			if len(edges) == 0 {
 				continue
 			}
-			mate := blossom.MaxWeightMatching(len(nodes), edges, false)
-			weight := make(map[[2]int]float64, len(edges))
+			mate := blossom.MatchPooled(len(nodes), edges, false)
+			// Recover matched pairs by scanning the edge list: edges are
+			// u-major with I < J and each matched u has exactly one
+			// partner, so this visits pairs in the same ascending-u order
+			// as iterating the mate array, with the weight in hand.
 			for _, e := range edges {
-				weight[[2]int{e.I, e.J}] = e.Weight
-			}
-			for u, v := range mate {
-				if v > u {
-					w := weight[[2]int{u, v}]
-					gain, _ := c.mergeGain(nodes[u], nodes[v], w)
-					proposals = append(proposals, proposal{
-						bucket: gpus, u: u, v: v, weight: w, gain: gain,
-					})
+				if mate[e.I] != e.J {
+					continue
 				}
+				gain, _ := c.mergeGain(nodes[e.I], nodes[e.J], e.Weight)
+				proposals = append(proposals, proposal{
+					bucket: gpus, u: e.I, v: e.J, weight: e.Weight, gain: gain,
+				})
 			}
 		}
 		if len(proposals) == 0 {
@@ -529,19 +678,8 @@ func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
 // 11): merges adjacent nodes in priority order instead of matching, with
 // the same capacity-aware acceptance.
 func (c Config) greedyRounds(buckets map[int][]*node, capacityGPUs int) {
-	demand := 0
-	var keys []int
-	for gpus, nodes := range buckets {
-		keys = append(keys, gpus)
-		demand += gpus * len(nodes)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
-	unconstrained := capacityGPUs <= 0
+	keys, demand, unconstrained, maxRounds := c.roundSetup(buckets, capacityGPUs)
 	maxSize := c.maxGroup()
-	maxRounds := c.rounds()
-	if !unconstrained {
-		maxRounds = 64
-	}
 	for round := 0; round < maxRounds; round++ {
 		if !unconstrained && demand <= capacityGPUs {
 			break

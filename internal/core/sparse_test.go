@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"muri/internal/blossom"
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// matchedWeight sums the weight of a matching's edges.
+func matchedWeight(edges []blossom.Edge, mate []int) float64 {
+	s := 0.0
+	for _, e := range edges {
+		if mate[e.I] == e.J {
+			s += e.Weight
+		}
+	}
+	return s
+}
+
+// TestSparseMatchingWeightBound is the sparsification quality property
+// promised by DESIGN.md §6: matching the top-k candidate graph loses at
+// most a small fraction of the exact matching's total weight. On dense
+// random graphs at the default k=16 the empirical loss is zero (the
+// optimal matching only ever uses edges near the top of some endpoint's
+// ranking); the test enforces the documented ≥97% bound with margin to
+// spare so a future regression in sparsifyEdges trips it.
+func TestSparseMatchingWeightBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense Blossom runs are slow")
+	}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		n := 100 + rng.Intn(200)
+		var edges []blossom.Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					// Efficiency-shaped weights: clustered near 1, as the
+					// pair-efficiency graph produces.
+					edges = append(edges, blossom.Edge{I: i, J: j, Weight: 0.6 + 0.4*rng.Float64()})
+				}
+			}
+		}
+		dense := matchedWeight(edges, blossom.MaxWeightMatching(n, edges, false))
+		sp := sparsifyEdges(append([]blossom.Edge(nil), edges...), n, DefaultSparseTopK)
+		if len(sp) >= len(edges) {
+			t.Fatalf("trial %d: sparsifier kept all %d edges of a dense graph", trial, len(edges))
+		}
+		sparse := matchedWeight(sp, blossom.MaxWeightMatching(n, sp, false))
+		if dense > 0 && sparse < 0.97*dense {
+			t.Errorf("trial %d: sparse matching weight %.4f < 97%% of dense %.4f (n=%d, %d→%d edges)",
+				trial, sparse, dense, n, len(edges), len(sp))
+		}
+	}
+}
+
+// TestSparsifyEdgesProperties pins the sparsifier's structural contract:
+// the output is an order-preserving subset of the input, every surviving
+// edge is in some endpoint's top-k, and every edge in a node's top-k
+// (ranked by weight desc, then input index asc) survives.
+func TestSparsifyEdgesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(60)
+		k := 1 + rng.Intn(6)
+		var edges []blossom.Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					// Coarse weights to exercise tie-breaking.
+					edges = append(edges, blossom.Edge{I: i, J: j, Weight: float64(rng.Intn(5))})
+				}
+			}
+		}
+		in := append([]blossom.Edge(nil), edges...)
+		out := sparsifyEdges(in, n, k)
+
+		// Rank every node's incident edges exactly as the sparsifier must.
+		topk := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			var ids []int
+			for i, e := range edges {
+				if e.I == v || e.J == v {
+					ids = append(ids, i)
+				}
+			}
+			for a := 1; a < len(ids); a++ {
+				for b := a; b > 0; b-- {
+					wa, wb := edges[ids[b-1]].Weight, edges[ids[b]].Weight
+					if wa > wb || (wa == wb && ids[b-1] < ids[b]) {
+						break
+					}
+					ids[b-1], ids[b] = ids[b], ids[b-1]
+				}
+			}
+			if len(ids) > k {
+				ids = ids[:k]
+			}
+			for _, id := range ids {
+				topk[id] = true
+			}
+		}
+
+		// out must be exactly the kept set, in input order.
+		var want []blossom.Edge
+		for i, e := range edges {
+			if topk[i] {
+				want = append(want, e)
+			}
+		}
+		if len(out) != len(want) {
+			t.Fatalf("trial %d (n=%d k=%d): got %d survivors, want %d", trial, n, k, len(out), len(want))
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("trial %d: survivor %d = %+v, want %+v (order or selection broken)", trial, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// planFingerprint serializes a plan's group structure for equality checks.
+func planFingerprint(groups []Group) string {
+	s := ""
+	for _, g := range groups {
+		s += fmt.Sprintf("[%d:", g.GPUs)
+		for _, j := range g.Jobs {
+			s += fmt.Sprintf("%d,", j.ID)
+		}
+		s += "]"
+	}
+	return s
+}
+
+// sparseJobs builds a single-GPU population large enough to cross the
+// default sparsification threshold, with varied stage shapes.
+func sparseJobs(n int, seed int64) []*job.Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]*job.Job, 0, n)
+	for i := 0; i < n; i++ {
+		var st workload.StageTimes
+		for r := 0; r < workload.NumResources; r++ {
+			st[r] = time.Duration(rng.Intn(200)+10) * time.Millisecond
+		}
+		jobs = append(jobs, mkJob(i, 1, st))
+	}
+	return jobs
+}
+
+// TestSparseModeDeterministic runs the same above-threshold population
+// through sparse-mode planning twice; the plans must be identical. The
+// sparse graph is a pure function of the dense one, so determinism
+// survives sparsification exactly as it does exhaustive construction.
+func TestSparseModeDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.sparseThreshold(); got != DefaultSparseNodeThreshold {
+		t.Fatalf("default threshold = %d, want %d", got, DefaultSparseNodeThreshold)
+	}
+	a := planFingerprint(cfg.Plan(sparseJobs(300, 4), 0))
+	b := planFingerprint(cfg.Plan(sparseJobs(300, 4), 0))
+	if a != b {
+		t.Fatalf("sparse-mode plan not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty plan")
+	}
+}
+
+// TestExactModeBelowThreshold pins the bit-identical guarantee for small
+// buckets: below SparseNodeThreshold the default config must produce the
+// same plan as a config with sparsification disabled outright.
+func TestExactModeBelowThreshold(t *testing.T) {
+	jobs := func() []*job.Job { return sparseJobs(200, 11) } // 200 < 256 default threshold
+	def := DefaultConfig()
+	exact := DefaultConfig()
+	exact.SparseNodeThreshold = -1
+	a := planFingerprint(def.Plan(jobs(), 0))
+	b := planFingerprint(exact.Plan(jobs(), 0))
+	if a != b {
+		t.Fatalf("below-threshold plan differs from exact mode:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSparseConfigResolution covers the zero/positive/negative semantics
+// of the two sparsification knobs.
+func TestSparseConfigResolution(t *testing.T) {
+	var c Config
+	if c.sparseTopK() != DefaultSparseTopK {
+		t.Errorf("zero SparseTopK → %d, want default %d", c.sparseTopK(), DefaultSparseTopK)
+	}
+	c.SparseTopK = 3
+	if c.sparseTopK() != 3 {
+		t.Errorf("explicit SparseTopK ignored")
+	}
+	if c.sparseThreshold() != DefaultSparseNodeThreshold {
+		t.Errorf("zero threshold → %d, want default %d", c.sparseThreshold(), DefaultSparseNodeThreshold)
+	}
+	c.SparseNodeThreshold = 64
+	if c.sparseThreshold() != 64 {
+		t.Errorf("explicit threshold ignored")
+	}
+	c.SparseNodeThreshold = -1
+	big := sparseJobs(300, 2)
+	nodes := make([]*node, len(big))
+	for i, j := range big {
+		nodes[i] = &node{jobs: []*job.Job{j}, profiles: []workload.StageTimes{j.Model.Stages}}
+	}
+	cfg := DefaultConfig()
+	cfg.SparseNodeThreshold = -1
+	dense := cfg.bucketEdges(nodes)
+	cfg.SparseNodeThreshold = 0
+	sparse := cfg.bucketEdges(nodes)
+	if len(sparse) >= len(dense) {
+		t.Errorf("default threshold did not sparsify a 300-node bucket: %d vs %d edges", len(sparse), len(dense))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"muri/internal/blossom"
 	"muri/internal/core"
 	"muri/internal/interleave"
 	"muri/internal/metrics"
@@ -592,6 +593,64 @@ func (o Options) Figure14() ([]Figure14Result, Table) {
 		}
 		out = append(out, r)
 		t.Rows = append(t.Rows, []string{f2(noise), f2(r.NormJCT), f2(r.NormMakespan)})
+	}
+	return out, t
+}
+
+// ScaleResult is one end-to-end scale run's outcome: the usual summary
+// plus wall-clock runtime and the scheduling-path performance counters
+// (completion-heap activity and Blossom matcher-pool reuse for this run
+// alone).
+type ScaleResult struct {
+	Trace   string
+	Jobs    int
+	Wall    time.Duration
+	Summary metrics.Summary
+	Heap    metrics.HeapStats
+	Pool    metrics.MatcherPoolStats
+}
+
+// Scale runs Muri-L end-to-end, event-driven, on the 2000-job and
+// 5755-job Philly traces — the stress points for sparse candidate
+// graphs, the pooled matcher, and the heap-driven simulator clock
+// (DESIGN.md §6). `make bench-sched-scale` records the equivalent runs
+// as benchmarks in BENCH_sched.json.
+func (o Options) Scale() ([]ScaleResult, Table) {
+	var out []ScaleResult
+	t := Table{
+		Title:  "Scheduling-path scale runs (Muri-L, event-driven)",
+		Header: []string{"trace", "jobs", "wall", "avg JCT", "makespan", "heap peak", "rebuilds", "fixes", "pool hit%"},
+	}
+	all := o.traces()
+	for _, idx := range []int{1, 3} { // trace2: 2,000 jobs; trace4: 5,755 jobs
+		tr := all[idx]
+		cfg := o.simConfig()
+		cfg.EventDriven = true
+		before := blossom.PoolStats()
+		start := time.Now()
+		res := sim.Run(cfg, tr, sched.NewMuriL())
+		wall := time.Since(start)
+		after := blossom.PoolStats()
+		r := ScaleResult{
+			Trace:   tr.Name,
+			Jobs:    res.Summary.Jobs,
+			Wall:    wall,
+			Summary: res.Summary,
+			Heap:    res.Heap,
+			Pool:    metrics.MatcherPoolStats{Gets: after.Gets - before.Gets, News: after.News - before.News},
+		}
+		out = append(out, r)
+		t.Rows = append(t.Rows, []string{
+			r.Trace,
+			strconv.Itoa(r.Jobs),
+			wall.Round(time.Millisecond).String(),
+			r.Summary.AvgJCT.Round(time.Second).String(),
+			r.Summary.Makespan.Round(time.Second).String(),
+			strconv.Itoa(r.Heap.Peak),
+			strconv.FormatUint(r.Heap.Rebuilds, 10),
+			strconv.FormatUint(r.Heap.Fixes, 10),
+			f2(100 * r.Pool.HitRate()),
+		})
 	}
 	return out, t
 }

@@ -186,3 +186,42 @@ func (s CacheStats) HitRate() float64 {
 	}
 	return 0
 }
+
+// MatcherPoolStats counts traffic through the reusable Blossom-matcher
+// pool (blossom.MatchPooled): how often the scheduling path matched, and
+// how often it could reuse recycled solver state instead of allocating.
+type MatcherPoolStats struct {
+	// Gets counts pooled matching calls.
+	Gets uint64
+	// News counts calls that had to construct a fresh matcher (pool miss).
+	News uint64
+}
+
+// Hits returns the calls served by recycled matcher state.
+func (s MatcherPoolStats) Hits() uint64 {
+	if s.News > s.Gets {
+		return 0
+	}
+	return s.Gets - s.News
+}
+
+// HitRate returns Hits/Gets, or 0 when the pool was never used.
+func (s MatcherPoolStats) HitRate() float64 {
+	if s.Gets > 0 {
+		return float64(s.Hits()) / float64(s.Gets)
+	}
+	return 0
+}
+
+// HeapStats describes the simulator's completion-estimate min-heap (the
+// event-driven clock; see DESIGN.md §6).
+type HeapStats struct {
+	// Size is the heap occupancy at snapshot time.
+	Size int
+	// Peak is the largest occupancy observed over the run.
+	Peak int
+	// Rebuilds counts full heapify passes (running-set membership changed).
+	Rebuilds uint64
+	// Fixes counts single-unit re-positionings after estimate invalidation.
+	Fixes uint64
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"time"
+
+	"muri/internal/metrics"
+)
+
+// noCompletion is the heap key for a unit none of whose members can ever
+// complete (all done or zero iteration time); it sorts after every real
+// completion estimate.
+const noCompletion = time.Duration(1<<63 - 1)
+
+// heapKey reads a unit's memoized completion estimate as a heap key. The
+// caller must have refreshed the memo (unit.earliest) at the current
+// query time; the heap only compares keys it has itself refreshed during
+// rebuild or fix, so every resident key is valid.
+func heapKey(u *unit) time.Duration {
+	if u.estAt < 0 {
+		return noCompletion
+	}
+	return u.estAt
+}
+
+// completionHeap is the event-driven clock's index: a binary min-heap of
+// the running units ordered by earliest absolute member completion, with
+// each unit carrying its own heap position (unit.heapIdx) so a single
+// invalidated unit can be re-positioned in O(log n) instead of rescanning
+// every unit.
+//
+// Invariants, maintained lazily at query time (earliestCompletion):
+//   - stale means running-set membership changed since the last query;
+//     the next query heapifies the current running set from scratch
+//     (Rebuilds++) and resets all dirty marks.
+//   - while not stale, units whose estimates were invalidated are queued
+//     on dirty (each at most once, via unit.dirty); the next query
+//     recomputes exactly those keys and sifts each unit up or down from
+//     its indexed position (Fixes++ per unit).
+//   - peek never recomputes anything: the root's key is the minimum
+//     completion estimate, and its VALUE equals what a full linear scan
+//     would return — ties in the ordering can permute heap layout but
+//     never the minimum itself, so wake-up times are bit-identical to
+//     the historical scan.
+type completionHeap struct {
+	units []*unit
+	dirty []*unit
+	stale bool
+	stats metrics.HeapStats
+}
+
+// snapshot returns the counters with Size set to current occupancy.
+func (h *completionHeap) snapshot() metrics.HeapStats {
+	s := h.stats
+	s.Size = len(h.units)
+	return s
+}
+
+// markStale records a running-set membership change; queued dirty fixes
+// are dropped because the coming rebuild refreshes every key anyway.
+func (h *completionHeap) markStale() {
+	h.stale = true
+	h.dirty = h.dirty[:0]
+}
+
+// noteDirty queues a unit whose completion estimate was invalidated for
+// re-positioning at the next query. No-op while stale (the rebuild will
+// refresh it) or when the unit is already queued.
+func (h *completionHeap) noteDirty(u *unit) {
+	if h.stale || u.dirty {
+		return
+	}
+	u.dirty = true
+	h.dirty = append(h.dirty, u)
+}
+
+// rebuild reloads the heap from the running set: refresh every estimate
+// at time now, then heapify bottom-up in O(n).
+func (h *completionHeap) rebuild(units []*unit, now time.Duration) {
+	h.units = append(h.units[:0], units...)
+	for i, u := range h.units {
+		u.heapIdx = i
+		u.dirty = false
+		u.earliest(now)
+	}
+	for i := len(h.units)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	h.stale = false
+	h.dirty = h.dirty[:0]
+	h.stats.Rebuilds++
+	if len(h.units) > h.stats.Peak {
+		h.stats.Peak = len(h.units)
+	}
+}
+
+// fix re-positions every queued dirty unit from its indexed slot.
+func (h *completionHeap) fix(now time.Duration) {
+	for _, u := range h.dirty {
+		u.dirty = false
+		u.earliest(now)
+		if !h.siftUp(u.heapIdx) {
+			h.siftDown(u.heapIdx)
+		}
+		h.stats.Fixes++
+	}
+	h.dirty = h.dirty[:0]
+}
+
+// peek returns the minimum completion estimate, matching the linear
+// scan's (value, found) contract.
+func (h *completionHeap) peek() (time.Duration, bool) {
+	if len(h.units) == 0 {
+		return 0, false
+	}
+	if k := heapKey(h.units[0]); k != noCompletion {
+		return k, true
+	}
+	return 0, false
+}
+
+func (h *completionHeap) less(i, j int) bool {
+	return heapKey(h.units[i]) < heapKey(h.units[j])
+}
+
+func (h *completionHeap) swap(i, j int) {
+	h.units[i], h.units[j] = h.units[j], h.units[i]
+	h.units[i].heapIdx = i
+	h.units[j].heapIdx = j
+}
+
+// siftUp bubbles index i toward the root, reporting whether it moved.
+func (h *completionHeap) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+// siftDown pushes index i toward the leaves.
+func (h *completionHeap) siftDown(i int) {
+	n := len(h.units)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}

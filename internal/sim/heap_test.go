@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/sched"
+	"muri/internal/trace"
+	"muri/internal/workload"
+)
+
+// heapTestUnit fabricates a running unit with the given per-member
+// remaining iterations and iteration times.
+func heapTestUnit(rng *rand.Rand, id int) *unit {
+	members := 1 + rng.Intn(3)
+	u := &unit{
+		readyAt:  time.Duration(rng.Intn(500)) * time.Millisecond,
+		iterTime: make([]time.Duration, members),
+		carry:    make([]float64, members),
+	}
+	for i := 0; i < members; i++ {
+		m := workload.Zoo()[rng.Intn(len(workload.Zoo()))]
+		j := job.New(job.ID(100*id+i), m, 1, int64(1+rng.Intn(50)), 0)
+		j.State = job.Running
+		u.spec.Jobs = append(u.spec.Jobs, j)
+		u.iterTime[i] = time.Duration(1+rng.Intn(200)) * time.Millisecond
+		u.carry[i] = rng.Float64()
+	}
+	return u
+}
+
+// linearEarliest is the reference implementation the heap replaced: a
+// full scan of unit.earliest over the running set.
+func linearEarliest(units []*unit, now time.Duration) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, u := range units {
+		if at, ok := u.earliest(now); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// TestCompletionHeapMatchesLinearScan drives the heap through random
+// sequences of membership changes (stale → rebuild), estimate
+// invalidations (dirty → fix), and clock advances, checking after every
+// query that peek equals the linear scan — the bit-identical wake-up
+// guarantee of DESIGN.md §6.
+func TestCompletionHeapMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		var pool []*unit
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			pool = append(pool, heapTestUnit(rng, i))
+		}
+		running := append([]*unit(nil), pool...)
+		var h completionHeap
+		h.markStale()
+		now := time.Duration(0)
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0: // membership change: drop or restore a random unit
+				if len(running) > 1 && rng.Intn(2) == 0 {
+					i := rng.Intn(len(running))
+					running = append(running[:i], running[i+1:]...)
+				} else {
+					// Restore a pool unit not currently running: s.running
+					// never holds the same unit twice.
+					in := make(map[*unit]bool, len(running))
+					for _, u := range running {
+						in[u] = true
+					}
+					for _, u := range pool {
+						if !in[u] {
+							running = append(running, u)
+							break
+						}
+					}
+				}
+				h.markStale()
+			case 1: // mutate a unit's progress, as credit/retime would
+				if len(running) > 0 {
+					u := running[rng.Intn(len(running))]
+					i := rng.Intn(len(u.carry))
+					u.carry[i] = rng.Float64()
+					u.iterTime[i] = time.Duration(rng.Intn(300)) * time.Millisecond
+					u.invalidate()
+					h.noteDirty(u)
+				}
+			case 2: // finish a member, then invalidate
+				if len(running) > 0 {
+					u := running[rng.Intn(len(running))]
+					u.spec.Jobs[rng.Intn(len(u.spec.Jobs))].State = job.Done
+					u.invalidate()
+					h.noteDirty(u)
+				}
+			case 3: // advance the clock; every unit re-observes it, as the
+				// simulator's credit pass does
+				now += time.Duration(rng.Intn(100)) * time.Millisecond
+				for _, u := range running {
+					u.invalidate()
+					h.noteDirty(u)
+				}
+			}
+			if h.stale {
+				h.rebuild(running, now)
+			} else {
+				h.fix(now)
+			}
+			gotAt, gotOK := h.peek()
+			wantAt, wantOK := linearEarliest(running, now)
+			if gotAt != wantAt || gotOK != wantOK {
+				t.Fatalf("trial %d step %d: heap peek (%v,%v) != linear scan (%v,%v)",
+					trial, step, gotAt, gotOK, wantAt, wantOK)
+			}
+		}
+		if h.stats.Rebuilds == 0 || h.stats.Fixes == 0 {
+			t.Fatalf("trial %d: heap paths unexercised: %+v", trial, h.stats)
+		}
+	}
+}
+
+// TestHeapStatsExposure checks the Result wiring: event-driven runs
+// report heap activity, fixed-interval runs report none (the heap is
+// never built).
+func TestHeapStatsExposure(t *testing.T) {
+	cfg := trace.PhillyConfigs(64)[0]
+	cfg.Jobs = 60
+	tr := trace.Generate(cfg)
+
+	ev := DefaultConfig()
+	ev.EventDriven = true
+	r := Run(ev, tr, sched.NewMuriL())
+	if r.Heap.Rebuilds == 0 || r.Heap.Peak == 0 {
+		t.Fatalf("event-driven run reported no heap activity: %+v", r.Heap)
+	}
+
+	fixed := Run(DefaultConfig(), tr, sched.NewMuriL())
+	if h := fixed.Heap; h.Rebuilds != 0 || h.Fixes != 0 || h.Peak != 0 || h.Size != 0 {
+		t.Fatalf("fixed-interval run built the heap: %+v", h)
+	}
+}

@@ -89,6 +89,9 @@ type Result struct {
 	Preemptions int
 	// Timeline holds per-job lifecycle events (with RecordTimeline).
 	Timeline []Event
+	// Heap reports the event-driven completion heap's counters; all zero
+	// on fixed-interval runs, which never build the heap.
+	Heap metrics.HeapStats
 }
 
 // Event is one job-lifecycle event in a run's timeline.
@@ -124,6 +127,11 @@ type unit struct {
 	// so the memo is bit-identical to a fresh scan at any query time.
 	estAt    time.Duration
 	estValid bool
+	// heapIdx is the unit's slot in the event-driven completion heap
+	// (meaningful only while the heap holds the unit); dirty marks it as
+	// queued for a heap fix after an estimate invalidation.
+	heapIdx int
+	dirty   bool
 }
 
 // invalidate drops the unit's memoized completion estimate. Every
@@ -236,6 +244,18 @@ type sim struct {
 	// was skipped for capacity while a lower-priority unit was admitted.
 	bypassed map[job.ID]int
 	timeline []Event
+	// heap indexes running units by earliest completion for the
+	// event-driven clock; unused (never built) on fixed-interval runs.
+	heap completionHeap
+}
+
+// invalidateUnit drops a unit's memoized completion estimate and, on
+// event-driven runs, queues it for a heap fix at the next clock query.
+func (s *sim) invalidateUnit(u *unit) {
+	u.invalidate()
+	if s.cfg.EventDriven {
+		s.heap.noteDirty(u)
+	}
 }
 
 // record appends a timeline event when recording is enabled.
@@ -272,6 +292,7 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		Jobs:        s.done,
 		Preemptions: s.preemptions,
 		Timeline:    s.timeline,
+		Heap:        s.heap.snapshot(),
 	}
 }
 
@@ -346,19 +367,20 @@ func (s *sim) loop() {
 }
 
 // earliestCompletion predicts the soonest member completion across all
-// running units, for event-driven rescheduling. Per-unit estimates are
-// memoized (unit.earliest) and recomputed only for units that changed
-// since the last query, so units idling through restart overhead — and
-// anything else untouched across wake-ups — cost nothing to rescan.
+// running units, for event-driven rescheduling. The completion heap
+// answers in O(1) from its root: a full O(n) heapify happens only when
+// running-set membership changed since the last query, and otherwise
+// only units whose estimates were invalidated are re-positioned
+// (O(log n) each) from their indexed slots. The returned time is
+// bit-identical to a linear scan of unit.earliest over s.running — the
+// heap can permute equal keys but never the minimum value.
 func (s *sim) earliestCompletion() (time.Duration, bool) {
-	var best time.Duration
-	found := false
-	for _, u := range s.running {
-		if at, ok := u.earliest(s.now); ok && (!found || at < best) {
-			best, found = at, true
-		}
+	if s.heap.stale {
+		s.heap.rebuild(s.running, s.now)
+	} else {
+		s.heap.fix(s.now)
 	}
-	return best, found
+	return s.heap.peek()
 }
 
 // admitArrivals moves jobs whose submit time has passed into the queue.
@@ -513,6 +535,22 @@ func (s *sim) schedule() {
 		}
 		placed = append(placed, u)
 	}
+	// The heap must re-index when the running set's membership changes.
+	// placed extends the surviving units in order (preemptive policies
+	// recreate every unit, so s.running is nil here and any placement is
+	// a change), so pointer-wise prefix equality detects "same units".
+	changed := len(placed) != len(s.running)
+	if !changed {
+		for i := range placed {
+			if placed[i] != s.running[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		s.heap.markStale()
+	}
 	s.running = placed
 	// Rebuild the pending queue and the placement memory.
 	s.prevKeys = make(map[job.ID]string, len(placedJobs))
@@ -611,10 +649,13 @@ func (s *sim) advance(deadline time.Duration) {
 		u.spec.Jobs = live
 		u.iterTime = liveTimes
 		u.carry = liveCarry
-		u.invalidate()
+		s.invalidateUnit(u)
 		still = append(still, u)
 	}
 	s.running = still
+	// Completions shrank the running set (and rewrote member slices):
+	// force a heap re-index at the next clock query.
+	s.heap.markStale()
 }
 
 // advanceUnit advances one unit over [from, to], processing completions
@@ -692,7 +733,7 @@ func (s *sim) credit(u *unit, live []int, from, to time.Duration) {
 	if dt <= 0 {
 		return
 	}
-	u.invalidate()
+	s.invalidateUnit(u)
 	for _, i := range live {
 		j := u.spec.Jobs[i]
 		if u.iterTime[i] <= 0 {
@@ -711,7 +752,7 @@ func (s *sim) credit(u *unit, live []int, from, to time.Duration) {
 // retime recomputes member iteration times after a completion shrinks the
 // unit (survivors speed up: fewer members to interleave or contend with).
 func (s *sim) retime(u *unit) {
-	u.invalidate()
+	s.invalidateUnit(u)
 	var live []*job.Job
 	for _, j := range u.spec.Jobs {
 		if j.State != job.Done {
