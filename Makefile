@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench bench-sched bench-sched-scale bench-sched-scale-quick clean
+.PHONY: check fmt build vet test test-race race bench bench-sched bench-sched-scale bench-sched-scale-quick clean
 
-check: fmt build vet race
+check: fmt build vet test-race
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -22,8 +22,14 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+# Full suite under the race detector. The fault-injection and drain
+# tests lean on this: lease eviction, backoff requeues, and agent
+# shutdown all exercise cross-goroutine state.
+test-race:
 	$(GO) test -race ./...
+
+# Back-compat alias.
+race: test-race
 
 # Scheduling-path microbenchmarks (ns/op, allocs/op, B/op, plus
 # cache/pool hit rates), captured as a machine-readable stream in

@@ -5,6 +5,8 @@
 //	murictl -scheduler localhost:7800 submit -model gpt2 -gpus 2 -iters 100000
 //	murictl -scheduler localhost:7800 status
 //	murictl -scheduler localhost:7800 wait -timeout 10m
+//	murictl -scheduler localhost:7800 fault -job 3
+//	murictl -scheduler localhost:7800 fault -machine machine-0
 package main
 
 import (
@@ -24,7 +26,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | models")
+		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | models")
 		os.Exit(2)
 	}
 	if args[0] == "models" {
@@ -61,14 +63,43 @@ func main() {
 			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("executors=%d pending=%d running=%d done=%d\n",
+		line := fmt.Sprintf("executors=%d pending=%d running=%d done=%d",
 			st.Executors, st.Pending, st.Running, st.Done)
+		if st.DeadLetter > 0 {
+			line += fmt.Sprintf(" deadletter=%d", st.DeadLetter)
+		}
+		if st.Faults != nil {
+			line += fmt.Sprintf(" crashes=%d transient=%d requeues=%d",
+				st.Faults.Crashes, st.Faults.Transient, st.Faults.Requeues)
+		}
+		fmt.Println(line)
 		for _, j := range st.Jobs {
-			line := fmt.Sprintf("job %d %-10s %-9s %d/%d iterations", j.ID, j.Model, j.State, j.DoneIterations, j.Iterations)
+			line := fmt.Sprintf("job %d %-10s %-10s %d/%d iterations", j.ID, j.Model, j.State, j.DoneIterations, j.Iterations)
 			if j.JCT > 0 {
 				line += fmt.Sprintf("  JCT=%v", j.JCT.Round(time.Second))
 			}
+			if j.Faults > 0 {
+				line += fmt.Sprintf("  faults=%d(last on %s)", j.Faults, j.FaultExecutor)
+			}
 			fmt.Println(line)
+		}
+	case "fault":
+		fs := flag.NewFlagSet("fault", flag.ExitOnError)
+		jobID := fs.Int64("job", 0, "fail this running job")
+		machine := fs.String("machine", "", "crash this executor machine")
+		_ = fs.Parse(args[1:])
+		if (*jobID == 0) == (*machine == "") {
+			fmt.Fprintln(os.Stderr, "murictl: fault needs exactly one of -job or -machine")
+			os.Exit(2)
+		}
+		if err := c.InjectFault(*jobID, *machine); err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		if *jobID != 0 {
+			fmt.Printf("injected fault into job %d\n", *jobID)
+		} else {
+			fmt.Printf("injected crash on machine %s\n", *machine)
 		}
 	case "wait":
 		fs := flag.NewFlagSet("wait", flag.ExitOnError)

@@ -9,12 +9,18 @@
 //	murisim -experiment figure10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, table2, table4, table5, figure8, figure9,
-// figure10, figure11, figure12, figure13, figure14, fidelity, scale, all.
+// figure10, figure11, figure12, figure13, figure14, fidelity, scale,
+// faults, all.
 //
 // The scale experiment replays the 2,000- and 5,755-job Philly traces
 // end-to-end (event-driven Muri-L) and reports wall-clock time alongside
 // the scheduling-path counters; `-quick` truncates the traces like every
 // other experiment.
+//
+// The faults experiment replays trace 1 under the deterministic failure
+// model at increasing failure rates (machine crashes, transient job
+// faults, stragglers) and compares how Muri-L and the SRTF/SRSF
+// baselines degrade.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (inspect
 // with `go tool pprof`), so scheduling-path regressions can be diagnosed
@@ -121,6 +127,7 @@ func main() {
 		{"figure13", func() experiments.Table { _, t := opt.Figure13(); return t }},
 		{"figure14", func() experiments.Table { _, t := opt.Figure14(); return t }},
 		{"scale", func() experiments.Table { _, t := opt.Scale(); return t }},
+		{"faults", func() experiments.Table { _, t := opt.Faults(); return t }},
 		{"fidelity", func() experiments.Table {
 			res, err := experiments.RunFidelity(experiments.DefaultFidelityConfig())
 			if err != nil {

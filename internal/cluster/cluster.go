@@ -18,16 +18,22 @@ type Machine struct {
 	GPUs int
 
 	free int
+	down bool
 }
 
 // Free returns the number of currently unallocated GPUs.
 func (m *Machine) Free() int { return m.free }
+
+// Down reports whether the machine is out of service (crashed).
+func (m *Machine) Down() bool { return m.down }
 
 // Cluster is a set of machines with GPU allocation tracking.
 type Cluster struct {
 	machines []*Machine
 	total    int
 	used     int
+	// down is the GPU capacity of out-of-service machines.
+	down int
 }
 
 // New creates a cluster of n machines with gpusPerMachine GPUs each.
@@ -47,11 +53,18 @@ func New(n, gpusPerMachine int) *Cluster {
 // Machines returns the machines in ID order. Callers must not mutate them.
 func (c *Cluster) Machines() []*Machine { return c.machines }
 
-// TotalGPUs returns the cluster's GPU capacity.
+// TotalGPUs returns the cluster's nominal GPU capacity, including
+// machines currently out of service.
 func (c *Cluster) TotalGPUs() int { return c.total }
 
-// FreeGPUs returns the number of unallocated GPUs across all machines.
-func (c *Cluster) FreeGPUs() int { return c.total - c.used }
+// AvailableGPUs returns the capacity of in-service machines — what a
+// scheduler can actually plan against under degraded conditions. With no
+// machine down it equals TotalGPUs.
+func (c *Cluster) AvailableGPUs() int { return c.total - c.down }
+
+// FreeGPUs returns the number of unallocated GPUs across in-service
+// machines.
+func (c *Cluster) FreeGPUs() int { return c.total - c.down - c.used }
 
 // UsedGPUs returns the number of allocated GPUs.
 func (c *Cluster) UsedGPUs() int { return c.used }
@@ -91,7 +104,7 @@ func (c *Cluster) Allocate(gpus int) (Alloc, bool) {
 		// fits, preferring lower IDs on ties for determinism.
 		best := -1
 		for _, m := range c.machines {
-			if m.free >= gpus && (best == -1 || m.free < c.machines[best].free) {
+			if !m.down && m.free >= gpus && (best == -1 || m.free < c.machines[best].free) {
 				best = m.ID
 			}
 		}
@@ -107,7 +120,7 @@ func (c *Cluster) Allocate(gpus int) (Alloc, bool) {
 	need := (gpus + per - 1) / per
 	var fullyFree []int
 	for _, m := range c.machines {
-		if m.free == m.GPUs {
+		if !m.down && m.free == m.GPUs {
 			fullyFree = append(fullyFree, m.ID)
 		}
 	}
@@ -149,9 +162,42 @@ func (c *Cluster) Release(a Alloc) {
 
 // Reset frees every allocation. Schedulers that recompute the whole
 // placement each interval use it instead of tracking individual releases.
+// Machine availability (SetDown/SetUp) survives a reset: a crashed
+// machine stays crashed across scheduling rounds.
 func (c *Cluster) Reset() {
 	for _, m := range c.machines {
 		m.free = m.GPUs
 	}
 	c.used = 0
+}
+
+// SetDown takes a machine out of service. The caller must have drained
+// it first (every allocation touching it released); a crash preempts the
+// units it hosts before the capacity disappears.
+func (c *Cluster) SetDown(id int) {
+	if id < 0 || id >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: SetDown on unknown machine %d", id))
+	}
+	m := c.machines[id]
+	if m.down {
+		return
+	}
+	if m.free != m.GPUs {
+		panic(fmt.Sprintf("cluster: SetDown on machine %d with %d GPUs still allocated", id, m.GPUs-m.free))
+	}
+	m.down = true
+	c.down += m.GPUs
+}
+
+// SetUp returns a machine to service after a repair.
+func (c *Cluster) SetUp(id int) {
+	if id < 0 || id >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: SetUp on unknown machine %d", id))
+	}
+	m := c.machines[id]
+	if !m.down {
+		return
+	}
+	m.down = false
+	c.down -= m.GPUs
 }

@@ -176,3 +176,70 @@ func TestFragmentationAvoidance(t *testing.T) {
 		t.Error("fragmentation: no room left for a second 8-GPU job")
 	}
 }
+
+func TestDownMachinesExcludedFromPlacement(t *testing.T) {
+	c := New(3, 4)
+	c.SetDown(0)
+	if c.TotalGPUs() != 12 {
+		t.Errorf("TotalGPUs = %d, want 12 (nominal capacity includes down machines)", c.TotalGPUs())
+	}
+	if c.AvailableGPUs() != 8 || c.FreeGPUs() != 8 {
+		t.Errorf("available = %d free = %d, want 8/8", c.AvailableGPUs(), c.FreeGPUs())
+	}
+	// Single-machine placement must skip the down machine.
+	for i := 0; i < 2; i++ {
+		a, ok := c.Allocate(4)
+		if !ok {
+			t.Fatalf("allocate 4 (%d) failed with two machines up", i)
+		}
+		if a.Slots[0] != 0 {
+			t.Fatalf("allocation landed on down machine: %v", a.Slots)
+		}
+	}
+	if _, ok := c.Allocate(1); ok {
+		t.Error("allocation succeeded with every in-service GPU taken")
+	}
+	// Multi-machine placement must not count the down machine as fully free.
+	c.Reset()
+	if _, ok := c.Allocate(12); ok {
+		t.Error("12-GPU allocation succeeded with only 8 GPUs in service")
+	}
+	if a, ok := c.Allocate(8); !ok || a.Slots[0] != 0 {
+		t.Errorf("8-GPU allocation = %v ok=%v, want machines 1+2", a.Slots, ok)
+	}
+	// Reset preserves availability; SetUp restores it.
+	c.Reset()
+	if c.AvailableGPUs() != 8 {
+		t.Errorf("reset cleared the down flag: available = %d", c.AvailableGPUs())
+	}
+	c.SetUp(0)
+	if c.AvailableGPUs() != 12 || c.FreeGPUs() != 12 {
+		t.Errorf("after repair available = %d free = %d, want 12/12", c.AvailableGPUs(), c.FreeGPUs())
+	}
+	if _, ok := c.Allocate(12); !ok {
+		t.Error("12-GPU allocation failed after repair")
+	}
+}
+
+func TestSetDownIsIdempotentAndChecksDrain(t *testing.T) {
+	c := New(2, 4)
+	c.SetDown(1)
+	c.SetDown(1) // idempotent
+	if c.AvailableGPUs() != 4 {
+		t.Errorf("double SetDown counted twice: available = %d", c.AvailableGPUs())
+	}
+	c.SetUp(1)
+	c.SetUp(1)
+	if c.AvailableGPUs() != 8 {
+		t.Errorf("double SetUp counted twice: available = %d", c.AvailableGPUs())
+	}
+	if _, ok := c.Allocate(4); !ok {
+		t.Fatal("allocate failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetDown on an undrained machine did not panic")
+		}
+	}()
+	c.SetDown(0) // best-fit put the 4-GPU job on machine 0
+}

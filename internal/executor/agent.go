@@ -33,6 +33,9 @@ type Agent struct {
 	conn   net.Conn
 	codec  *proto.Codec
 	wmu    sync.Mutex // serializes codec writes
+	// wg tracks every goroutine Serve spawns (heartbeat, context watcher,
+	// group runners, profiling), so Serve returns only after they exit.
+	wg sync.WaitGroup
 }
 
 type runningGroup struct {
@@ -103,6 +106,9 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 	a.codec = proto.NewCodec(conn)
 	a.groups = make(map[int64]*runningGroup)
 	a.mu.Unlock()
+	// LIFO: unblock the watcher, stop every group, then wait for all
+	// spawned goroutines — Serve leaks nothing after it returns.
+	defer a.wg.Wait()
 	defer a.killAll()
 
 	if err := a.send(&proto.Message{
@@ -114,7 +120,9 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 	// Close the connection when ctx ends so the read loop unblocks.
 	watchDone := make(chan struct{})
 	defer close(watchDone)
+	a.wg.Add(1)
 	go func() {
+		defer a.wg.Done()
 		select {
 		case <-ctx.Done():
 			conn.Close()
@@ -122,12 +130,17 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 		}
 	}()
 	// Liveness: heartbeat even when no group is running, so the worker
-	// monitor can tell an idle machine from a dead one.
+	// monitor can tell an idle machine from a dead one. If the scheduler
+	// advertises a lease TTL and no explicit period is configured, pace
+	// heartbeats to a third of the lease.
 	hbEvery := a.HeartbeatEvery
 	if hbEvery <= 0 {
 		hbEvery = time.Second
 	}
+	leaseCh := make(chan time.Duration, 1)
+	a.wg.Add(1)
 	go func() {
+		defer a.wg.Done()
 		t := time.NewTicker(hbEvery)
 		defer t.Stop()
 		for {
@@ -136,6 +149,11 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 				return
 			case <-ctx.Done():
 				return
+			case ttl := <-leaseCh:
+				if a.HeartbeatEvery <= 0 && ttl/3 > 0 && ttl/3 < hbEvery {
+					hbEvery = ttl / 3
+					t.Reset(hbEvery)
+				}
 			case <-t.C:
 				a.mu.Lock()
 				n := len(a.groups)
@@ -160,12 +178,22 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 			if !m.RegisterAck.OK {
 				return fmt.Errorf("executor: registration rejected: %s", m.RegisterAck.Reason)
 			}
+			if ttl := m.RegisterAck.LeaseTTL; ttl > 0 {
+				select {
+				case leaseCh <- ttl:
+				default:
+				}
+			}
 		case proto.TypeLaunch:
 			a.handleLaunch(ctx, m.Launch)
 		case proto.TypeKill:
 			a.handleKill(m.Kill.GroupID)
 		case proto.TypeProfileReq:
-			go a.handleProfile(ctx, m.ProfileReq)
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				a.handleProfile(ctx, m.ProfileReq)
+			}()
 		default:
 			a.logf("executor %s: unexpected message %s", a.MachineID, m.Type)
 		}
@@ -193,7 +221,8 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 		},
 		Fault: func(jobID int64, err error) {
 			_ = a.send(&proto.Message{Type: proto.TypeFault,
-				Fault: &proto.Fault{GroupID: l.GroupID, JobID: jobID, Error: err.Error()}})
+				Fault: &proto.Fault{GroupID: l.GroupID, JobID: jobID, Error: err.Error(),
+					Machine: a.MachineID}})
 		},
 	}
 	run := NewGroupRun(l.Jobs, l.TimeScale, events, a.Fault)
@@ -205,7 +234,9 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 	if reportEvery <= 0 {
 		reportEvery = time.Second
 	}
+	a.wg.Add(1)
 	go func() {
+		defer a.wg.Done()
 		t := time.NewTicker(reportEvery)
 		defer t.Stop()
 		for {
@@ -218,7 +249,9 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 			}
 		}
 	}()
+	a.wg.Add(1)
 	go func() {
+		defer a.wg.Done()
 		defer close(rg.done)
 		_ = run.Run(gctx)
 		// Final progress snapshot so the scheduler sees exact counts.

@@ -1,0 +1,209 @@
+// Package faults defines the deterministic failure model shared by the
+// discrete-event simulator and the live daemon/executor stack. A Plan is
+// generated once from a seed and then consumed read-only: machine
+// crash/repair events drawn from exponential MTBF/MTTR distributions,
+// per-machine straggler slowdown factors, and a pure-hash transient-fault
+// oracle for individual job execution attempts. Two plans built from the
+// same Config are identical, and every query on a plan is a pure
+// function, so a simulation that consumes a plan is reproducible
+// bit-for-bit regardless of scheduling or goroutine order.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind enumerates the machine-level event kinds of a failure plan.
+type Kind int
+
+const (
+	// MachineCrash takes a machine — and everything running on it —
+	// offline until the paired MachineRepair.
+	MachineCrash Kind = iota
+	// MachineRepair returns a crashed machine to service.
+	MachineRepair
+)
+
+// String returns the timeline label for the kind ("fault" / "repair").
+func (k Kind) String() string {
+	switch k {
+	case MachineCrash:
+		return "fault"
+	case MachineRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// MachineEvent is one scheduled crash or repair.
+type MachineEvent struct {
+	// Time is the virtual timestamp of the event.
+	Time time.Duration
+	// Kind is MachineCrash or MachineRepair.
+	Kind Kind
+	// Machine is the machine index in [0, Config.Machines).
+	Machine int
+}
+
+// Config parameterizes plan generation. The zero value produces an empty
+// plan (no crashes, no transient faults, no stragglers).
+type Config struct {
+	// Seed makes the plan reproducible; two configs differing only in
+	// Seed produce statistically equivalent but distinct plans.
+	Seed int64
+	// Machines is the number of machines to model.
+	Machines int
+	// MTBF is the per-machine mean time between crashes (exponential).
+	// Zero disables machine crashes.
+	MTBF time.Duration
+	// MTTR is the mean time to repair a crashed machine (exponential).
+	// Zero with a non-zero MTBF defaults to 30 minutes.
+	MTTR time.Duration
+	// Horizon bounds crash generation: no crash is scheduled after it
+	// (repairs may land past it so capacity always recovers). Zero with a
+	// non-zero MTBF defaults to 30 days.
+	Horizon time.Duration
+	// TransientFaultProb is the probability that one execution attempt of
+	// a job suffers a transient fault (process crash, NCCL error, …) and
+	// must be requeued from its last checkpoint. Zero disables.
+	TransientFaultProb float64
+	// StragglerFraction is the fraction of machines that run slow.
+	StragglerFraction float64
+	// StragglerSlowdown is the iteration-time multiplier on straggler
+	// machines; values ≤ 1 disable straggling.
+	StragglerSlowdown float64
+}
+
+// Plan is a reproducible failure schedule. Consumers hold it read-only
+// and keep their own cursors, so one plan can drive many runs.
+type Plan struct {
+	// Events holds the machine crash/repair schedule in time order
+	// (ties broken by machine index, repairs before crashes).
+	Events []MachineEvent
+	// Slowdown is the per-machine iteration-time multiplier (1 nominal).
+	Slowdown []float64
+	// TransientFaultProb is the per-attempt job fault probability
+	// consumed by TransientFault.
+	TransientFaultProb float64
+
+	seed int64
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mixing function used to derive independent draws from (seed,
+// key) tuples without any shared-stream ordering dependence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit01 maps a 64-bit hash to a uniform float64 in [0, 1).
+func unit01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// NewPlan generates the failure schedule for cfg. Each machine's
+// crash/repair sequence is drawn from its own derived seed, so the plan
+// is invariant to the machine count of *other* configs and fully
+// determined by (Seed, Machines, MTBF, MTTR, Horizon).
+func NewPlan(cfg Config) *Plan {
+	p := &Plan{
+		TransientFaultProb: cfg.TransientFaultProb,
+		Slowdown:           make([]float64, cfg.Machines),
+		seed:               cfg.Seed,
+	}
+	mttr := cfg.MTTR
+	if mttr <= 0 {
+		mttr = 30 * time.Minute
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 30 * 24 * time.Hour
+	}
+	for m := 0; m < cfg.Machines; m++ {
+		mseed := splitmix64(uint64(cfg.Seed) ^ splitmix64(uint64(m)+0x5eed))
+		if cfg.StragglerSlowdown > 1 && cfg.StragglerFraction > 0 &&
+			unit01(splitmix64(mseed^0x57a661e7)) < cfg.StragglerFraction {
+			p.Slowdown[m] = cfg.StragglerSlowdown
+		} else {
+			p.Slowdown[m] = 1
+		}
+		if cfg.MTBF <= 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(mseed)))
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() * float64(cfg.MTBF))
+			if t > horizon {
+				break
+			}
+			crash := t
+			t += time.Duration(rng.ExpFloat64() * float64(mttr))
+			// The repair may land past the horizon: a crashed machine
+			// always comes back, so simulations cannot starve forever.
+			p.Events = append(p.Events,
+				MachineEvent{Time: crash, Kind: MachineCrash, Machine: m},
+				MachineEvent{Time: t, Kind: MachineRepair, Machine: m})
+		}
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		a, b := p.Events[i], p.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind == MachineRepair // free capacity before taking it
+		}
+		return a.Machine < b.Machine
+	})
+	return p
+}
+
+// Empty reports whether the plan (or nil) can never perturb a run; an
+// empty plan is the contract for bit-identical no-fault behavior.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	if len(p.Events) > 0 || p.TransientFaultProb > 0 {
+		return false
+	}
+	for _, s := range p.Slowdown {
+		if s > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SlowdownFor returns the iteration-time multiplier for a machine; out
+// of range indices (a plan generated for a smaller cluster) are nominal.
+func (p *Plan) SlowdownFor(machine int) float64 {
+	if p == nil || machine < 0 || machine >= len(p.Slowdown) {
+		return 1
+	}
+	return p.Slowdown[machine]
+}
+
+// TransientFault reports whether the given execution attempt of a job
+// suffers a transient fault and, if so, at which fraction of the
+// attempt's estimated remaining work the fault strikes. The draw is a
+// pure hash of (plan seed, job, attempt): deterministic regardless of
+// call order or how often it is repeated.
+func (p *Plan) TransientFault(jobID int64, attempt int) (frac float64, fault bool) {
+	if p == nil || p.TransientFaultProb <= 0 {
+		return 0, false
+	}
+	h := splitmix64(uint64(p.seed) ^ splitmix64(uint64(jobID)) ^ splitmix64(uint64(attempt)+0xfa11))
+	if unit01(h) >= p.TransientFaultProb {
+		return 0, false
+	}
+	// Strike somewhere in the middle 90% of the attempt, never exactly at
+	// its start or end.
+	return 0.05 + 0.9*unit01(splitmix64(h)), true
+}

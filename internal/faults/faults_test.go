@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:               42,
+		Machines:           8,
+		MTBF:               12 * time.Hour,
+		MTTR:               45 * time.Minute,
+		Horizon:            10 * 24 * time.Hour,
+		TransientFaultProb: 0.05,
+		StragglerFraction:  0.25,
+		StragglerSlowdown:  1.4,
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	a, b := NewPlan(testConfig()), NewPlan(testConfig())
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("two plans from the same config have different event schedules")
+	}
+	if !reflect.DeepEqual(a.Slowdown, b.Slowdown) {
+		t.Fatal("two plans from the same config have different slowdowns")
+	}
+	other := testConfig()
+	other.Seed = 43
+	if reflect.DeepEqual(a.Events, NewPlan(other).Events) {
+		t.Fatal("different seeds produced identical event schedules")
+	}
+}
+
+func TestPlanInvariants(t *testing.T) {
+	cfg := testConfig()
+	p := NewPlan(cfg)
+	if len(p.Events) == 0 {
+		t.Fatal("10-day horizon at 12h MTBF produced no crashes")
+	}
+	// Globally time-sorted.
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].Time < p.Events[i-1].Time {
+			t.Fatalf("events out of order at %d: %v after %v", i, p.Events[i], p.Events[i-1])
+		}
+	}
+	// Per machine: strict crash/repair alternation starting with a crash,
+	// strictly increasing times, machine index in range.
+	lastKind := make(map[int]Kind)
+	lastTime := make(map[int]time.Duration)
+	for _, e := range p.Events {
+		if e.Machine < 0 || e.Machine >= cfg.Machines {
+			t.Fatalf("event machine %d out of range", e.Machine)
+		}
+		if k, seen := lastKind[e.Machine]; seen {
+			if k == e.Kind {
+				t.Fatalf("machine %d: consecutive %v events", e.Machine, e.Kind)
+			}
+			if e.Time <= lastTime[e.Machine] {
+				t.Fatalf("machine %d: non-increasing event times", e.Machine)
+			}
+		} else if e.Kind != MachineCrash {
+			t.Fatalf("machine %d: first event is %v, want crash", e.Machine, e.Kind)
+		}
+		lastKind[e.Machine] = e.Kind
+		lastTime[e.Machine] = e.Time
+	}
+	// Every crash is paired with a repair: the final event per machine is
+	// a repair, so capacity always recovers.
+	for m, k := range lastKind {
+		if k != MachineRepair {
+			t.Errorf("machine %d: schedule ends on %v, want repair", m, k)
+		}
+	}
+	// No crash past the horizon.
+	for _, e := range p.Events {
+		if e.Kind == MachineCrash && e.Time > cfg.Horizon {
+			t.Errorf("crash at %v past horizon %v", e.Time, cfg.Horizon)
+		}
+	}
+	if len(p.Slowdown) != cfg.Machines {
+		t.Fatalf("slowdown vector has %d entries, want %d", len(p.Slowdown), cfg.Machines)
+	}
+	for m, s := range p.Slowdown {
+		if s != 1 && s != cfg.StragglerSlowdown {
+			t.Errorf("machine %d slowdown %v, want 1 or %v", m, s, cfg.StragglerSlowdown)
+		}
+	}
+}
+
+func TestTransientFaultDeterministicAndCalibrated(t *testing.T) {
+	p := NewPlan(Config{Seed: 7, Machines: 1, TransientFaultProb: 0.1})
+	hits := 0
+	const draws = 20000
+	for job := int64(0); job < 200; job++ {
+		for attempt := 0; attempt < 100; attempt++ {
+			f1, ok1 := p.TransientFault(job, attempt)
+			f2, ok2 := p.TransientFault(job, attempt)
+			if f1 != f2 || ok1 != ok2 {
+				t.Fatalf("transient draw for (%d,%d) not stable", job, attempt)
+			}
+			if ok1 {
+				hits++
+				if f1 < 0.05 || f1 > 0.95 {
+					t.Fatalf("fault fraction %v outside [0.05, 0.95]", f1)
+				}
+			}
+		}
+	}
+	rate := float64(hits) / draws
+	if rate < 0.07 || rate > 0.13 {
+		t.Errorf("observed fault rate %.3f, want ≈0.10", rate)
+	}
+}
+
+func TestEmptyAndNilPlans(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if f := nilPlan.SlowdownFor(0); f != 1 {
+		t.Errorf("nil plan slowdown = %v, want 1", f)
+	}
+	if _, ok := nilPlan.TransientFault(1, 0); ok {
+		t.Error("nil plan injected a transient fault")
+	}
+	if !NewPlan(Config{Seed: 1, Machines: 4}).Empty() {
+		t.Error("zero-rate plan should be empty")
+	}
+	if NewPlan(testConfig()).Empty() {
+		t.Error("fault-heavy plan reported empty")
+	}
+	if NewPlan(Config{Seed: 1, Machines: 2, StragglerFraction: 1, StragglerSlowdown: 2}).Empty() {
+		t.Error("straggler-only plan reported empty")
+	}
+}

@@ -213,6 +213,37 @@ func (s MatcherPoolStats) HitRate() float64 {
 	return 0
 }
 
+// FaultStats aggregates failure-model activity over a run: the
+// simulator fills it from its fault plan (sim.Result.Faults), and the
+// scheduler daemon maintains the live-path equivalent, exported through
+// the status API.
+type FaultStats struct {
+	// Crashes counts machine crash events applied.
+	Crashes int
+	// Repairs counts machine repair (or executor re-registration) events.
+	Repairs int
+	// Transient counts transient job faults injected.
+	Transient int
+	// Requeues counts job requeues caused by crashes or transient faults.
+	Requeues int
+	// DeadLettered counts jobs that exhausted their retry budget (live
+	// path only; the simulator retries from checkpoint indefinitely).
+	DeadLettered int
+	// WorkLost is the partial-iteration progress discarded by faults
+	// (jobs restart from their last whole-iteration checkpoint).
+	WorkLost time.Duration
+}
+
+// Add accumulates o into s (for aggregating per-run stats).
+func (s *FaultStats) Add(o FaultStats) {
+	s.Crashes += o.Crashes
+	s.Repairs += o.Repairs
+	s.Transient += o.Transient
+	s.Requeues += o.Requeues
+	s.DeadLettered += o.DeadLettered
+	s.WorkLost += o.WorkLost
+}
+
 // HeapStats describes the simulator's completion-estimate min-heap (the
 // event-driven clock; see DESIGN.md §6).
 type HeapStats struct {

@@ -35,10 +35,12 @@ const (
 	TypeProfileReq  Type = "profile" // dry-run a model and report stages
 
 	// Client → scheduler.
-	TypeSubmit    Type = "submit"
-	TypeSubmitAck Type = "submit_ack"
-	TypeStatus    Type = "status"
-	TypeStatusAck Type = "status_ack"
+	TypeSubmit         Type = "submit"
+	TypeSubmitAck      Type = "submit_ack"
+	TypeStatus         Type = "status"
+	TypeStatusAck      Type = "status_ack"
+	TypeInjectFault    Type = "inject_fault"     // chaos: fail a job or machine
+	TypeInjectFaultAck Type = "inject_fault_ack" // result of the injection
 )
 
 // JobSpec describes one job inside a Launch message or a Submit request.
@@ -68,6 +70,10 @@ type Register struct {
 type RegisterAck struct {
 	OK     bool   `json:"ok"`
 	Reason string `json:"reason,omitempty"`
+	// LeaseTTL is the scheduler's liveness lease: the executor must send
+	// some message (heartbeats suffice) within every TTL window or be
+	// evicted and have its groups requeued. Zero means no lease.
+	LeaseTTL time.Duration `json:"lease_ttl,omitempty"`
 }
 
 // Launch instructs an executor to run an interleaving group.
@@ -118,6 +124,9 @@ type Fault struct {
 	GroupID int64  `json:"group_id"`
 	JobID   int64  `json:"job_id"`
 	Error   string `json:"error"`
+	// Machine names the executor the fault originated on, so the
+	// scheduler's fault log can attribute it.
+	Machine string `json:"machine,omitempty"`
 }
 
 // Heartbeat keeps an executor's registration alive. The worker monitor
@@ -159,12 +168,25 @@ type Status struct{}
 
 // StatusAck summarizes the scheduler state.
 type StatusAck struct {
-	Pending   int            `json:"pending"`
-	Running   int            `json:"running"`
-	Done      int            `json:"done"`
-	Executors int            `json:"executors"`
-	Jobs      []JobStatus    `json:"jobs,omitempty"`
-	Extra     map[string]any `json:"extra,omitempty"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Executors int `json:"executors"`
+	// DeadLetter counts jobs parked after exhausting their retry budget.
+	DeadLetter int            `json:"dead_letter,omitempty"`
+	Faults     *FaultSummary  `json:"faults,omitempty"`
+	Jobs       []JobStatus    `json:"jobs,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
+}
+
+// FaultSummary mirrors the scheduler's fault counters on the wire (kept
+// separate from internal metrics types so proto stays dependency-free).
+type FaultSummary struct {
+	Crashes      int `json:"crashes"`
+	Repairs      int `json:"repairs"`
+	Transient    int `json:"transient"`
+	Requeues     int `json:"requeues"`
+	DeadLettered int `json:"dead_lettered"`
 }
 
 // JobStatus is one job's externally visible state.
@@ -175,26 +197,46 @@ type JobStatus struct {
 	DoneIterations int64         `json:"done_iterations"`
 	Iterations     int64         `json:"iterations"`
 	JCT            time.Duration `json:"jct,omitempty"`
+	// Faults counts this job's recorded faults; FaultExecutor names the
+	// machine the most recent one originated on.
+	Faults        int    `json:"faults,omitempty"`
+	FaultExecutor string `json:"fault_executor,omitempty"`
+}
+
+// InjectFault asks the scheduler to inject a failure: exactly one of
+// JobID (fail that running job) or Machine (drop that executor as if it
+// crashed) should be set.
+type InjectFault struct {
+	JobID   int64  `json:"job_id,omitempty"`
+	Machine string `json:"machine,omitempty"`
+}
+
+// InjectFaultAck reports the outcome of an injection.
+type InjectFaultAck struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
 }
 
 // Message is the framed envelope. Exactly one payload field matching Type
 // should be set.
 type Message struct {
-	Type        Type         `json:"type"`
-	Register    *Register    `json:"register,omitempty"`
-	RegisterAck *RegisterAck `json:"register_ack,omitempty"`
-	Launch      *Launch      `json:"launch,omitempty"`
-	Kill        *Kill        `json:"kill,omitempty"`
-	Progress    *Progress    `json:"progress,omitempty"`
-	JobDone     *JobDone     `json:"job_done,omitempty"`
-	Fault       *Fault       `json:"fault,omitempty"`
-	Heartbeat   *Heartbeat   `json:"heartbeat,omitempty"`
-	ProfileReq  *ProfileReq  `json:"profile_req,omitempty"`
-	Profiled    *Profiled    `json:"profiled,omitempty"`
-	Submit      *Submit      `json:"submit,omitempty"`
-	SubmitAck   *SubmitAck   `json:"submit_ack,omitempty"`
-	Status      *Status      `json:"status,omitempty"`
-	StatusAck   *StatusAck   `json:"status_ack,omitempty"`
+	Type           Type            `json:"type"`
+	Register       *Register       `json:"register,omitempty"`
+	RegisterAck    *RegisterAck    `json:"register_ack,omitempty"`
+	Launch         *Launch         `json:"launch,omitempty"`
+	Kill           *Kill           `json:"kill,omitempty"`
+	Progress       *Progress       `json:"progress,omitempty"`
+	JobDone        *JobDone        `json:"job_done,omitempty"`
+	Fault          *Fault          `json:"fault,omitempty"`
+	Heartbeat      *Heartbeat      `json:"heartbeat,omitempty"`
+	ProfileReq     *ProfileReq     `json:"profile_req,omitempty"`
+	Profiled       *Profiled       `json:"profiled,omitempty"`
+	Submit         *Submit         `json:"submit,omitempty"`
+	SubmitAck      *SubmitAck      `json:"submit_ack,omitempty"`
+	Status         *Status         `json:"status,omitempty"`
+	StatusAck      *StatusAck      `json:"status_ack,omitempty"`
+	InjectFault    *InjectFault    `json:"inject_fault,omitempty"`
+	InjectFaultAck *InjectFaultAck `json:"inject_fault_ack,omitempty"`
 }
 
 // Codec reads and writes framed messages on a stream. Reads and writes

@@ -71,6 +71,28 @@ func (c *Client) Status() (proto.StatusAck, error) {
 	return *reply.StatusAck, nil
 }
 
+// InjectFault asks the scheduler to inject a failure: a positive jobID
+// fails that running job; a non-empty machine drops that executor as if
+// the machine crashed. Exactly one of the two must be set.
+func (c *Client) InjectFault(jobID int64, machine string) error {
+	msg := &proto.Message{Type: proto.TypeInjectFault,
+		InjectFault: &proto.InjectFault{JobID: jobID, Machine: machine}}
+	if err := c.codec.Write(msg); err != nil {
+		return err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return err
+	}
+	if reply.Type != proto.TypeInjectFaultAck || reply.InjectFaultAck == nil {
+		return fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if !reply.InjectFaultAck.OK {
+		return fmt.Errorf("client: inject fault: %s", reply.InjectFaultAck.Err)
+	}
+	return nil
+}
+
 // Replay submits every job of a trace to the scheduler, pacing the
 // submissions by the trace's inter-arrival gaps compressed by timeScale
 // (wall sleep = virtual gap × timeScale). Iteration counts derive from

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"muri/internal/proto"
+)
+
+// fastFaultConfig keeps retry backoffs tiny so fault tests run quickly.
+func fastFaultConfig() Config {
+	return Config{
+		FaultBackoffBase: time.Millisecond,
+		FaultBackoffMax:  5 * time.Millisecond,
+	}
+}
+
+// TestFaultBackoffThenSuccess: a job that faults twice must be backed
+// off, retried, and completed — with both faults attributed to the
+// executor they happened on.
+func TestFaultBackoffThenSuccess(t *testing.T) {
+	var mu sync.Mutex
+	failures := 0
+	fault := func(jobID, iter int64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if jobID == 1 && failures < 2 && iter >= 5 {
+			failures++
+			return errors.New("flaky kernel")
+		}
+		return nil
+	}
+	h := startHarness(t, fastFaultConfig(), 1, fault)
+	c := h.client(t)
+	if _, err := c.Submit("dqn", 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 {
+		t.Fatalf("done = %d, want 1", st.Done)
+	}
+	if st.Jobs[0].Faults != 2 {
+		t.Errorf("job recorded %d faults, want 2", st.Jobs[0].Faults)
+	}
+	if st.Jobs[0].FaultExecutor != "machine-0" {
+		t.Errorf("fault attributed to %q, want machine-0", st.Jobs[0].FaultExecutor)
+	}
+	if st.Faults == nil || st.Faults.Transient != 2 || st.Faults.Requeues != 2 {
+		t.Errorf("fault summary = %+v, want 2 transient / 2 requeues", st.Faults)
+	}
+	h.srv.mu.Lock()
+	js := h.srv.jobs[1]
+	logLen := len(js.faultLog)
+	origin := ""
+	if logLen > 0 {
+		origin = js.faultLog[0].executor
+	}
+	h.srv.mu.Unlock()
+	if logLen != 2 || origin != "machine-0" {
+		t.Errorf("fault log has %d entries from %q, want 2 from machine-0", logLen, origin)
+	}
+}
+
+// TestRetryBudgetDeadLetter: a job that faults past its retry budget is
+// parked in the dead-letter state; healthy jobs are unaffected and the
+// run still terminates.
+func TestRetryBudgetDeadLetter(t *testing.T) {
+	fault := func(jobID, iter int64) error {
+		if jobID == 1 {
+			return errors.New("always broken")
+		}
+		return nil
+	}
+	cfg := fastFaultConfig()
+	cfg.FaultRetryBudget = 2
+	h := startHarness(t, cfg, 1, fault)
+	c := h.client(t)
+	if _, err := c.Submit("dqn", 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("gpt2", 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 || st.DeadLetter != 1 {
+		t.Fatalf("done = %d, deadletter = %d, want 1 and 1 (status %+v)", st.Done, st.DeadLetter, st)
+	}
+	var dead string
+	for _, j := range st.Jobs {
+		if j.ID == 1 {
+			dead = j.State
+		}
+	}
+	if dead != "deadletter" {
+		t.Errorf("job 1 state = %q, want deadletter", dead)
+	}
+	if st.Faults == nil || st.Faults.DeadLettered != 1 {
+		t.Errorf("fault summary = %+v, want 1 dead-lettered", st.Faults)
+	}
+	if st.Faults != nil && st.Faults.Transient != 3 {
+		t.Errorf("transient = %d, want 3 (budget 2 + final strike)", st.Faults.Transient)
+	}
+}
+
+// TestStopDrains: Stop lets the in-flight group finish, rejects new
+// submissions while draining, and returns nil once idle.
+func TestStopDrains(t *testing.T) {
+	h := startHarness(t, fastFaultConfig(), 1, nil)
+	c := h.client(t)
+	if _, err := c.Submit("gpt2", 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job is actually running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.srv.mu.Lock()
+		running := len(h.srv.groups) > 0
+		h.srv.mu.Unlock()
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never launched")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	stopErr := make(chan error, 1)
+	go func() { stopErr <- h.srv.Stop(ctx) }()
+	// Submissions during the drain are rejected.
+	for {
+		h.srv.mu.Lock()
+		draining := h.srv.draining
+		h.srv.mu.Unlock()
+		if draining {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Submit("gpt2", 1, 10); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("submit during drain: got %v, want draining rejection", err)
+	}
+	if err := <-stopErr; err != nil {
+		t.Fatalf("Stop = %v, want nil (clean drain)", err)
+	}
+	h.srv.mu.Lock()
+	groups, done := len(h.srv.groups), 0
+	for _, js := range h.srv.jobs {
+		if js.state == "done" {
+			done++
+		}
+	}
+	h.srv.mu.Unlock()
+	if groups != 0 || done != 1 {
+		t.Errorf("after drain: %d groups, %d done jobs; want 0 and 1", groups, done)
+	}
+}
+
+// TestInjectFaultJob: a client-injected job fault goes through the
+// normal fault path (recorded, backed off) and the job still completes.
+func TestInjectFaultJob(t *testing.T) {
+	h := startHarness(t, fastFaultConfig(), 1, nil)
+	c := h.client(t)
+	id, err := c.Submit("gpt2", 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.srv.mu.Lock()
+		running := h.srv.jobs[id] != nil && h.srv.jobs[id].state == "running"
+		h.srv.mu.Unlock()
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.InjectFault(id, ""); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if err := c.InjectFault(0, "no-such-machine"); err == nil {
+		t.Error("injecting on an unknown machine should fail")
+	}
+	st, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 {
+		t.Fatalf("done = %d, want 1", st.Done)
+	}
+	if st.Jobs[0].Faults != 1 || st.Jobs[0].FaultExecutor != "machine-0" {
+		t.Errorf("job shows %d faults from %q, want 1 from machine-0",
+			st.Jobs[0].Faults, st.Jobs[0].FaultExecutor)
+	}
+}
+
+// TestInjectFaultMachine: crashing an executor migrates its jobs to the
+// survivor, counts a crash, and the work still finishes.
+func TestInjectFaultMachine(t *testing.T) {
+	h := startHarness(t, fastFaultConfig(), 2, nil)
+	c := h.client(t)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit("gpt2", 1, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.srv.mu.Lock()
+		running := len(h.srv.groups) > 0
+		h.srv.mu.Unlock()
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no group ever launched")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.InjectFault(0, "machine-0"); err != nil {
+		t.Fatalf("inject machine crash: %v", err)
+	}
+	st, err := c.WaitAllDone(30*time.Second, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 4 {
+		t.Fatalf("done = %d, want 4", st.Done)
+	}
+	if st.Executors != 1 {
+		t.Errorf("executors = %d, want 1 after the crash", st.Executors)
+	}
+	if st.Faults == nil || st.Faults.Crashes != 1 {
+		t.Errorf("fault summary = %+v, want exactly 1 crash", st.Faults)
+	}
+}
+
+// TestHeartbeatTimeoutEvicts: a hung executor — registered, connection
+// open, but never sending — is evicted when its lease expires, and any
+// jobs launched onto it migrate to the healthy survivor.
+func TestHeartbeatTimeoutEvicts(t *testing.T) {
+	cfg := fastFaultConfig()
+	cfg.LivenessTimeout = 400 * time.Millisecond
+	h := startHarness(t, cfg, 1, nil)
+	// A hung machine: it completes registration, then goes silent while
+	// keeping TCP open, so only the lease can detect it.
+	conn, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := proto.NewCodec(conn)
+	if err := codec.Write(&proto.Message{Type: proto.TypeRegister,
+		Register: &proto.Register{MachineID: "hung", GPUs: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := codec.Read()
+	if err != nil || ack.RegisterAck == nil || !ack.RegisterAck.OK {
+		t.Fatalf("hung executor registration failed: %v %+v", err, ack)
+	}
+	if ack.RegisterAck.LeaseTTL != cfg.LivenessTimeout {
+		t.Errorf("advertised lease %v, want %v", ack.RegisterAck.LeaseTTL, cfg.LivenessTimeout)
+	}
+	c := h.client(t)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit("gpt2", 1, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.WaitAllDone(30*time.Second, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 3 {
+		t.Fatalf("done = %d, want 3", st.Done)
+	}
+	if st.Executors != 1 {
+		t.Errorf("executors = %d, want only the healthy one after eviction", st.Executors)
+	}
+	if st.Faults == nil || st.Faults.Crashes < 1 {
+		t.Errorf("fault summary = %+v, want the eviction counted as a crash", st.Faults)
+	}
+}
+
+// TestNoGoroutineLeaks: a full harness lifecycle — faults, an injected
+// crash, drain, close — must not leave goroutines behind.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	t.Run("lifecycle", func(t *testing.T) {
+		fault := func(jobID, iter int64) error {
+			if jobID == 1 && iter == 3 {
+				return errors.New("one-shot fault")
+			}
+			return nil
+		}
+		h := startHarness(t, fastFaultConfig(), 2, fault)
+		c := h.client(t)
+		for i := 0; i < 3; i++ {
+			if _, err := c.Submit("dqn", 1, 60); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The subtest's Cleanup tore everything down; give straggling exits
+	// a moment, then compare with tolerance for runtime housekeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines grew %d -> %d after full teardown\n%s", before, after, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

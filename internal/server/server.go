@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"muri/internal/job"
+	"muri/internal/metrics"
 	"muri/internal/proto"
 	"muri/internal/sched"
 	"muri/internal/workload"
@@ -40,10 +42,20 @@ type Config struct {
 	ReportEvery time.Duration
 	// ProfileIterations is the dry-run length for first-seen models.
 	ProfileIterations int
-	// LivenessTimeout evicts executors that have sent nothing (not even
-	// a heartbeat) for this long. Zero means 5 seconds; executors
-	// heartbeat every second by default.
+	// LivenessTimeout is the executor lease TTL: an executor that sends
+	// nothing (not even a heartbeat) within one TTL is evicted and its
+	// groups requeued. It is advertised to executors in RegisterAck so
+	// they can pace heartbeats to it. Zero means 5 seconds.
 	LivenessTimeout time.Duration
+	// FaultBackoffBase is the requeue delay after a job's first fault;
+	// each subsequent fault doubles it (with deterministic jitter) up to
+	// FaultBackoffMax. Zero means 100ms base, 5s cap.
+	FaultBackoffBase time.Duration
+	FaultBackoffMax  time.Duration
+	// FaultRetryBudget is how many faults a job may accumulate before it
+	// is parked in the dead-letter state instead of being requeued. Zero
+	// means 8; negative means unlimited retries.
+	FaultRetryBudget int
 	// ProfileTimeScale is the time scale used for dry-run profiling. It
 	// defaults to 0.05 — coarser than TimeScale — because measuring
 	// microsecond sleeps is dominated by timer overhead and would destroy
@@ -57,25 +69,40 @@ type Config struct {
 type jobState struct {
 	spec    proto.JobSpec
 	job     *job.Job
-	state   string // "profiling", "pending", "running", "done"
+	state   string // "profiling", "pending", "running", "done", "deadletter"
 	groupID int64
 	// virtual bookkeeping
 	submittedAt time.Time
 	finishedAt  time.Time
 	lastSeen    time.Time
 	faults      int
+	// notBefore holds the job out of scheduling until the backoff after
+	// its last fault has elapsed.
+	notBefore time.Time
+	// faultLog records every fault with its origin, so repeated failures
+	// are attributable (e.g. the same flaky machine every time).
+	faultLog []faultRecord
+}
+
+// faultRecord is one entry of a job's fault history.
+type faultRecord struct {
+	at       time.Time
+	executor string
+	err      string
 }
 
 // executorConn is one registered executor.
 type executorConn struct {
-	id       string
-	gpus     int
-	free     int
-	codec    *proto.Codec
-	wmu      sync.Mutex
-	conn     net.Conn
-	gone     bool
-	lastSeen time.Time
+	id    string
+	gpus  int
+	free  int
+	codec *proto.Codec
+	wmu   sync.Mutex
+	conn  net.Conn
+	gone  bool
+	// leaseExpiry is the liveness lease: renewed by every inbound
+	// message, checked by the worker monitor each scheduling round.
+	leaseExpiry time.Time
 }
 
 func (e *executorConn) send(m *proto.Message) error {
@@ -110,9 +137,16 @@ type Server struct {
 	nextGroup int64
 	started   time.Time
 	closed    bool
-	conns     map[net.Conn]bool
-	kick      chan struct{}
-	wg        sync.WaitGroup
+	// draining rejects new submissions while in-flight groups finish
+	// (set by Stop).
+	draining bool
+	// seenMachines remembers every machine id that ever registered, so a
+	// re-registration after an eviction counts as a repair.
+	seenMachines map[string]bool
+	faults       metrics.FaultStats
+	conns        map[net.Conn]bool
+	kick         chan struct{}
+	wg           sync.WaitGroup
 }
 
 // New creates a daemon with defaults filled in.
@@ -138,16 +172,26 @@ func New(cfg Config) *Server {
 	if cfg.LivenessTimeout <= 0 {
 		cfg.LivenessTimeout = 5 * time.Second
 	}
+	if cfg.FaultBackoffBase <= 0 {
+		cfg.FaultBackoffBase = 100 * time.Millisecond
+	}
+	if cfg.FaultBackoffMax <= 0 {
+		cfg.FaultBackoffMax = 5 * time.Second
+	}
+	if cfg.FaultRetryBudget == 0 {
+		cfg.FaultRetryBudget = 8
+	}
 	return &Server{
-		cfg:       cfg,
-		executors: make(map[string]*executorConn),
-		jobs:      make(map[int64]*jobState),
-		groups:    make(map[int64]*groupState),
-		profiles:  make(map[string][4]time.Duration),
-		profiling: make(map[string]bool),
-		conns:     make(map[net.Conn]bool),
-		kick:      make(chan struct{}, 1),
-		started:   time.Now(),
+		cfg:          cfg,
+		executors:    make(map[string]*executorConn),
+		jobs:         make(map[int64]*jobState),
+		groups:       make(map[int64]*groupState),
+		profiles:     make(map[string][4]time.Duration),
+		profiling:    make(map[string]bool),
+		seenMachines: make(map[string]bool),
+		conns:        make(map[net.Conn]bool),
+		kick:         make(chan struct{}, 1),
+		started:      time.Now(),
 	}
 }
 
@@ -242,6 +286,37 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Stop drains the daemon gracefully: new submissions are rejected while
+// groups already in flight run to completion (or fault), then the
+// listener and all connections close. If ctx expires first, the daemon
+// closes anyway and the context error is returned.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := len(s.groups) == 0
+		s.mu.Unlock()
+		if idle {
+			s.Close()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // handleConn dispatches a new connection based on its first message.
 func (s *Server) handleConn(conn net.Conn) {
 	codec := proto.NewCodec(conn)
@@ -253,7 +328,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	switch m.Type {
 	case proto.TypeRegister:
 		s.handleExecutor(conn, codec, m.Register)
-	case proto.TypeSubmit, proto.TypeStatus:
+	case proto.TypeSubmit, proto.TypeStatus, proto.TypeInjectFault:
 		s.handleClient(conn, codec, m)
 	default:
 		s.logf("server: unexpected first message %s", m.Type)
@@ -264,7 +339,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // handleExecutor serves one executor connection until it drops.
 func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Register) {
 	e := &executorConn{id: reg.MachineID, gpus: reg.GPUs, free: reg.GPUs,
-		codec: codec, conn: conn, lastSeen: time.Now()}
+		codec: codec, conn: conn, leaseExpiry: time.Now().Add(s.cfg.LivenessTimeout)}
 	s.mu.Lock()
 	if _, dup := s.executors[e.id]; dup || reg.GPUs <= 0 {
 		s.mu.Unlock()
@@ -274,12 +349,20 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 		return
 	}
 	s.executors[e.id] = e
+	rejoined := s.seenMachines[e.id]
+	s.seenMachines[e.id] = true
+	if rejoined {
+		// A machine coming back after an eviction (or clean disconnect)
+		// is the live-path analogue of a repair event.
+		s.faults.Repairs++
+	}
 	s.mu.Unlock()
-	if err := e.send(&proto.Message{Type: proto.TypeRegisterAck, RegisterAck: &proto.RegisterAck{OK: true}}); err != nil {
+	ack := &proto.RegisterAck{OK: true, LeaseTTL: s.cfg.LivenessTimeout}
+	if err := e.send(&proto.Message{Type: proto.TypeRegisterAck, RegisterAck: ack}); err != nil {
 		s.dropExecutor(e)
 		return
 	}
-	s.logf("server: executor %s registered with %d GPUs", e.id, e.gpus)
+	s.logf("server: executor %s registered with %d GPUs (lease %v)", e.id, e.gpus, s.cfg.LivenessTimeout)
 	s.kickSchedule()
 	for {
 		m, err := codec.Read()
@@ -288,7 +371,7 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 			return
 		}
 		s.mu.Lock()
-		e.lastSeen = time.Now()
+		e.leaseExpiry = time.Now().Add(s.cfg.LivenessTimeout)
 		s.mu.Unlock()
 		switch m.Type {
 		case proto.TypeProgress:
@@ -296,19 +379,22 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 		case proto.TypeJobDone:
 			s.onJobDone(m.JobDone)
 		case proto.TypeFault:
-			s.onFault(m.Fault)
+			s.onFault(m.Fault, e.id)
 		case proto.TypeProfiled:
 			s.onProfiled(m.Profiled)
 		case proto.TypeHeartbeat:
-			// lastSeen update above is all a heartbeat needs.
+			// The lease renewal above is all a heartbeat needs.
 		default:
 			s.logf("server: unexpected executor message %s", m.Type)
 		}
 	}
 }
 
-// dropExecutor handles an executor disconnect: its groups' jobs go back
-// to the queue (the worker monitor's fault handling, §5).
+// dropExecutor handles an executor disconnect or lease expiry: its
+// groups' jobs go back to the queue (the worker monitor's fault
+// handling, §5). Losing a machine is not the job's fault, so requeued
+// jobs keep their retry budget; the loss is still recorded in their
+// fault log for attribution.
 func (s *Server) dropExecutor(e *executorConn) {
 	e.conn.Close()
 	s.mu.Lock()
@@ -318,6 +404,8 @@ func (s *Server) dropExecutor(e *executorConn) {
 	}
 	e.gone = true
 	delete(s.executors, e.id)
+	s.faults.Crashes++
+	requeued := 0
 	for gid, g := range s.groups {
 		if g.exec != e {
 			continue
@@ -326,11 +414,15 @@ func (s *Server) dropExecutor(e *executorConn) {
 			if js := s.jobs[jid]; js != nil && js.state == "running" {
 				js.state = "pending"
 				js.groupID = 0
+				js.faultLog = append(js.faultLog,
+					faultRecord{at: time.Now(), executor: e.id, err: "executor lost"})
+				s.faults.Requeues++
+				requeued++
 			}
 		}
 		delete(s.groups, gid)
 	}
-	s.logf("server: executor %s dropped; jobs requeued", e.id)
+	s.logf("server: executor %s dropped; %d jobs requeued", e.id, requeued)
 	s.kickSchedule()
 }
 
@@ -352,6 +444,13 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 		case proto.TypeStatus:
 			st := s.status()
 			reply = proto.Message{Type: proto.TypeStatusAck, StatusAck: &st}
+		case proto.TypeInjectFault:
+			ack := proto.InjectFaultAck{OK: true}
+			if err := s.injectFault(m.InjectFault); err != nil {
+				ack.OK = false
+				ack.Err = err.Error()
+			}
+			reply = proto.Message{Type: proto.TypeInjectFaultAck, InjectFaultAck: &ack}
 		default:
 			s.logf("server: unexpected client message %s", m.Type)
 			return
@@ -383,6 +482,9 @@ func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return 0, errors.New("server: draining; not accepting new jobs")
+	}
 	s.nextJob++
 	spec.ID = s.nextJob
 	js := &jobState{spec: spec, submittedAt: time.Now(), lastSeen: time.Now()}
@@ -422,7 +524,9 @@ func (s *Server) requestProfileLocked(model string) {
 			Model: model, Iterations: s.cfg.ProfileIterations, TimeScale: s.cfg.ProfileTimeScale,
 		}}
 		exec := e
+		s.wg.Add(1)
 		go func() {
+			defer s.wg.Done()
 			if err := exec.send(req); err != nil {
 				s.mu.Lock()
 				delete(s.profiling, model)
@@ -500,20 +604,64 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	s.kickSchedule()
 }
 
-// onFault pushes a failed job back to the queue (§5).
-func (s *Server) onFault(f *proto.Fault) {
+// onFault pushes a failed job back to the queue (§5), preserving its
+// progress (the next launch resumes from DoneIterations) and recording
+// the fault's origin for attribution. Repeated faults back the job off
+// exponentially; past the retry budget it is dead-lettered.
+func (s *Server) onFault(f *proto.Fault, from string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	js := s.jobs[f.JobID]
 	if js == nil || js.state == "done" {
 		return
 	}
-	js.faults++
-	js.state = "pending"
-	js.groupID = 0
+	origin := f.Machine
+	if origin == "" {
+		origin = from
+	}
 	s.detachFromGroupLocked(f.GroupID, f.JobID)
-	s.logf("server: job %d faulted (%s); requeued", f.JobID, f.Error)
+	s.recordJobFaultLocked(js, origin, f.Error)
 	s.kickSchedule()
+}
+
+// recordJobFaultLocked applies one job-level fault: log it, spend retry
+// budget, and either requeue with backoff or dead-letter. The job's
+// progress is untouched — js.job.DoneIterations survives, so the next
+// launch resumes the remaining iterations. Callers hold s.mu.
+func (s *Server) recordJobFaultLocked(js *jobState, origin, errMsg string) {
+	js.faults++
+	js.faultLog = append(js.faultLog, faultRecord{at: time.Now(), executor: origin, err: errMsg})
+	js.groupID = 0
+	s.faults.Transient++
+	if s.cfg.FaultRetryBudget >= 0 && js.faults > s.cfg.FaultRetryBudget {
+		js.state = "deadletter"
+		s.faults.DeadLettered++
+		s.logf("server: job %d dead-lettered after %d faults (last on %s: %s)",
+			js.spec.ID, js.faults, origin, errMsg)
+		return
+	}
+	backoff := faultBackoff(s.cfg.FaultBackoffBase, s.cfg.FaultBackoffMax, js.spec.ID, js.faults)
+	js.state = "pending"
+	js.notBefore = time.Now().Add(backoff)
+	s.faults.Requeues++
+	s.logf("server: job %d faulted on %s (%s); fault %d, requeued with %v backoff, %d/%d iterations done",
+		js.spec.ID, origin, errMsg, js.faults, backoff, js.job.DoneIterations, js.job.Iterations)
+}
+
+// faultBackoff doubles a base delay per fault up to a cap, plus up to
+// 25% jitter derived deterministically from (job, attempt) so retry
+// storms decorrelate without nondeterministic tests.
+func faultBackoff(base, max time.Duration, jobID int64, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := uint64(jobID)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return d + time.Duration(float64(d)*0.25*float64(h%1024)/1024)
 }
 
 // detachFromGroupLocked removes a job from its group, freeing the
@@ -568,16 +716,24 @@ func (s *Server) kickSchedule() {
 
 // scheduleLocked runs one scheduling round. Callers hold s.mu.
 func (s *Server) scheduleLocked() {
-	// Worker-monitor liveness: evict executors that have gone silent. A
+	// Worker-monitor liveness: evict executors whose lease expired. A
 	// hung machine keeps its TCP connection open, so read errors alone
 	// are not enough.
-	cutoff := time.Now().Add(-s.cfg.LivenessTimeout)
+	wallNow := time.Now()
 	for _, e := range s.executors {
-		if e.lastSeen.Before(cutoff) {
+		if wallNow.After(e.leaseExpiry) {
 			dead := e
-			s.logf("server: executor %s silent past liveness timeout", dead.id)
-			go s.dropExecutor(dead) // takes s.mu; must run outside this lock
+			s.logf("server: executor %s lease expired; evicting", dead.id)
+			s.wg.Add(1)
+			go func() { // takes s.mu; must run outside this lock
+				defer s.wg.Done()
+				s.dropExecutor(dead)
+			}()
 		}
+	}
+	if s.draining {
+		// Drain: in-flight groups run to completion, nothing new launches.
+		return
 	}
 	// Retry profiling for jobs stuck without an executor earlier.
 	for _, js := range s.jobs {
@@ -598,9 +754,13 @@ func (s *Server) scheduleLocked() {
 		return
 	}
 	// Candidates: pending plus (for preemptive policies) running jobs.
+	// Jobs still in their post-fault backoff window sit out this round.
 	var candidates []*job.Job
 	byID := make(map[job.ID]*jobState)
 	for _, js := range s.jobs {
+		if js.state == "pending" && wallNow.Before(js.notBefore) {
+			continue
+		}
 		if js.state == "pending" || (s.cfg.Policy.Preemptive() && js.state == "running") {
 			candidates = append(candidates, js.job)
 			byID[js.job.ID] = js
@@ -729,6 +889,47 @@ func (s *Server) killGroupLocked(gid int64) {
 	delete(s.groups, gid)
 }
 
+// injectFault applies a client-requested chaos injection: kill a running
+// job (as if its process crashed) or drop a whole executor (as if the
+// machine died). Injections go through the same fault paths as organic
+// failures, so backoff, budgets, and counters all apply.
+func (s *Server) injectFault(req *proto.InjectFault) error {
+	if req == nil || (req.JobID == 0) == (req.Machine == "") {
+		return errors.New("server: inject fault needs exactly one of job or machine")
+	}
+	if req.Machine != "" {
+		s.mu.Lock()
+		e := s.executors[req.Machine]
+		s.mu.Unlock()
+		if e == nil {
+			return fmt.Errorf("server: unknown machine %q", req.Machine)
+		}
+		s.logf("server: injected crash on machine %s", req.Machine)
+		s.dropExecutor(e)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := s.jobs[req.JobID]
+	if js == nil {
+		return fmt.Errorf("server: unknown job %d", req.JobID)
+	}
+	if js.state != "running" {
+		return fmt.Errorf("server: job %d is %s, not running", req.JobID, js.state)
+	}
+	origin := ""
+	if g := s.groups[js.groupID]; g != nil {
+		origin = g.exec.id
+	}
+	// Kill the whole group (the executor cannot stop one member of an
+	// interleaved unit); innocent members requeue as preemptions, only
+	// the target is charged a fault.
+	s.killGroupLocked(js.groupID)
+	s.recordJobFaultLocked(js, origin, "injected fault")
+	s.kickSchedule()
+	return nil
+}
+
 // unitKey canonically identifies a unit by its member set.
 func unitKey(u sched.Unit) string {
 	ids := make([]int, len(u.Jobs))
@@ -759,12 +960,18 @@ func (s *Server) status() proto.StatusAck {
 			State:          js.state,
 			DoneIterations: js.job.DoneIterations,
 			Iterations:     js.spec.Iterations,
+			Faults:         js.faults,
+		}
+		if n := len(js.faultLog); n > 0 {
+			st.FaultExecutor = js.faultLog[n-1].executor
 		}
 		switch js.state {
 		case "pending", "profiling":
 			ack.Pending++
 		case "running":
 			ack.Running++
+		case "deadletter":
+			ack.DeadLetter++
 		case "done":
 			ack.Done++
 			st.JCT = time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
@@ -774,6 +981,15 @@ func (s *Server) status() proto.StatusAck {
 			}
 		}
 		ack.Jobs = append(ack.Jobs, st)
+	}
+	if s.faults != (metrics.FaultStats{}) {
+		ack.Faults = &proto.FaultSummary{
+			Crashes:      s.faults.Crashes,
+			Repairs:      s.faults.Repairs,
+			Transient:    s.faults.Transient,
+			Requeues:     s.faults.Requeues,
+			DeadLettered: s.faults.DeadLettered,
+		}
 	}
 	if ack.Done > 0 {
 		ack.Extra = map[string]any{

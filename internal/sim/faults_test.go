@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"muri/internal/faults"
+	"muri/internal/job"
+	"muri/internal/sched"
+	"muri/internal/trace"
+)
+
+// faultFingerprint extends the metric fingerprint with the failure-model
+// counters, so two runs agreeing here agree on every fault applied.
+func faultFingerprint(r Result) string {
+	return fingerprint(r) + fmt.Sprintf("faults=%+v\n", r.Faults)
+}
+
+// chaosPlan is a deliberately hostile plan for a small cluster: frequent
+// crashes, slow repairs, transient job faults, and stragglers.
+func chaosPlan(seed int64, machines int) *faults.Plan {
+	return faults.NewPlan(faults.Config{
+		Seed:               seed,
+		Machines:           machines,
+		MTBF:               6 * time.Hour,
+		MTTR:               45 * time.Minute,
+		Horizon:            10 * 24 * time.Hour,
+		TransientFaultProb: 0.08,
+		StragglerFraction:  0.25,
+		StragglerSlowdown:  1.3,
+	})
+}
+
+// chaosConfig is a 4×4 cluster small enough that crashes bite.
+func chaosConfig(plan *faults.Plan) Config {
+	cfg := DefaultConfig()
+	cfg.Machines = 4
+	cfg.GPUsPerMachine = 4
+	cfg.Faults = plan
+	return cfg
+}
+
+func chaosTrace() trace.Trace {
+	cfg := trace.PhillyConfigs(16)[0]
+	cfg.Jobs = 40
+	return trace.Generate(cfg)
+}
+
+// TestZeroPlanBitIdentity is the ISSUE's compatibility guard: running
+// with a nil plan, and with an explicitly empty plan, must produce
+// results bit-identical to each other (and hence to a build without the
+// failure model, whose code paths are all gated on the plan).
+func TestZeroPlanBitIdentity(t *testing.T) {
+	tr := determinismTrace()
+	for _, eventDriven := range []bool{false, true} {
+		name := "interval"
+		if eventDriven {
+			name = "event-driven"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := DefaultConfig()
+			base.EventDriven = eventDriven
+			withNil := base
+			withNil.Faults = nil
+			withEmpty := base
+			withEmpty.Faults = faults.NewPlan(faults.Config{Seed: 99, Machines: base.Machines})
+
+			ref := faultFingerprint(Run(withNil, tr, sched.NewMuriL()))
+			if got := faultFingerprint(Run(withEmpty, tr, sched.NewMuriL())); got != ref {
+				t.Fatalf("empty plan perturbed the run\nnil:\n%.2000s\nempty:\n%.2000s", ref, got)
+			}
+			var zero Result
+			if Run(withNil, tr, sched.NewMuriL()).Faults != zero.Faults {
+				t.Fatal("nil-plan run reported nonzero fault stats")
+			}
+		})
+	}
+}
+
+// TestFaultPlanDeterministic: a fixed nonzero seed must give two runs
+// with identical schedules, metrics, and fault counters.
+func TestFaultPlanDeterministic(t *testing.T) {
+	tr := chaosTrace()
+	run := func() string {
+		return faultFingerprint(Run(chaosConfig(chaosPlan(7, 4)), tr, sched.NewMuriL()))
+	}
+	first := run()
+	for rep := 0; rep < 2; rep++ {
+		if got := run(); got != first {
+			t.Fatalf("faulted run %d diverged\nfirst:\n%.2000s\ngot:\n%.2000s", rep+2, first, got)
+		}
+	}
+}
+
+// TestCrashRecoveryProperty: across many seeds and policies, every run
+// under chaos must terminate with all work conserved — each job Done
+// with DoneIterations == Iterations — and must actually exercise the
+// fault machinery.
+func TestCrashRecoveryProperty(t *testing.T) {
+	tr := chaosTrace()
+	policies := []struct {
+		name string
+		mk   func() sched.Policy
+	}{
+		{"muri-l", func() sched.Policy { return sched.NewMuriL() }},
+		{"srtf", sched.SRTF},
+	}
+	sawCrash, sawTransient := false, false
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, p := range policies {
+			cfg := chaosConfig(chaosPlan(seed, 4))
+			cfg.EventDriven = seed%2 == 0
+			r := Run(cfg, tr, p.mk())
+			if r.Summary.Jobs != len(tr.Specs) {
+				t.Fatalf("seed=%d %s: %d/%d jobs finished", seed, p.name, r.Summary.Jobs, len(tr.Specs))
+			}
+			for _, j := range r.Jobs {
+				if j.State != job.Done || j.DoneIterations != j.Iterations {
+					t.Fatalf("seed=%d %s: job %d lost work: %d/%d iterations, state %v",
+						seed, p.name, j.ID, j.DoneIterations, j.Iterations, j.State)
+				}
+				if j.FinishedAt < j.Submit {
+					t.Fatalf("seed=%d %s: job %d finished before submit", seed, p.name, j.ID)
+				}
+			}
+			if r.Faults.Crashes > 0 {
+				sawCrash = true
+			}
+			if r.Faults.Transient > 0 {
+				sawTransient = true
+			}
+			if r.Faults.Repairs > r.Faults.Crashes {
+				t.Fatalf("seed=%d %s: %d repairs for %d crashes", seed, p.name, r.Faults.Repairs, r.Faults.Crashes)
+			}
+		}
+	}
+	if !sawCrash || !sawTransient {
+		t.Fatalf("chaos plans never exercised the model: crashes=%v transient=%v", sawCrash, sawTransient)
+	}
+}
+
+// TestFaultTimelineEvents: with recording enabled, the timeline carries
+// machine-level "fault"/"repair" markers and per-job fault entries, and
+// fault counters line up with the recorded events.
+func TestFaultTimelineEvents(t *testing.T) {
+	tr := chaosTrace()
+	cfg := chaosConfig(chaosPlan(3, 4))
+	cfg.RecordTimeline = true
+	r := Run(cfg, tr, sched.NewMuriL())
+	machineFaults, machineRepairs, jobFaults := 0, 0, 0
+	for _, e := range r.Timeline {
+		machineEvent := strings.HasPrefix(e.Unit, "machine-")
+		switch e.Kind {
+		case "fault":
+			if machineEvent {
+				machineFaults++
+			} else {
+				jobFaults++
+			}
+		case "repair":
+			if !machineEvent {
+				t.Errorf("repair event on non-machine unit %q", e.Unit)
+			}
+			machineRepairs++
+		}
+	}
+	if machineFaults != r.Faults.Crashes {
+		t.Errorf("timeline has %d machine faults, stats say %d crashes", machineFaults, r.Faults.Crashes)
+	}
+	if machineRepairs != r.Faults.Repairs {
+		t.Errorf("timeline has %d repairs, stats say %d", machineRepairs, r.Faults.Repairs)
+	}
+	if jobFaults != r.Faults.Requeues {
+		t.Errorf("timeline has %d job fault events, stats say %d requeues", jobFaults, r.Faults.Requeues)
+	}
+	if r.Faults.Crashes == 0 {
+		t.Error("chaos run recorded no crashes")
+	}
+}

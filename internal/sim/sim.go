@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"muri/internal/cluster"
+	"muri/internal/faults"
 	"muri/internal/interleave"
 	"muri/internal/job"
 	"muri/internal/metrics"
@@ -59,6 +60,13 @@ type Config struct {
 	// RecordTimeline captures per-job lifecycle events (start, restart,
 	// finish) into Result.Timeline for post-hoc analysis.
 	RecordTimeline bool
+	// Faults, when non-nil and non-empty, injects the deterministic
+	// failure plan: seeded machine crash/repair events preempt and
+	// requeue affected jobs against degraded capacity, straggler
+	// machines slow their units, and transient job faults push single
+	// members back to the queue. A nil or empty plan leaves the
+	// simulation bit-identical to a build without the failure model.
+	Faults *faults.Plan
 	// Debug, when non-nil, receives a one-line summary of every
 	// scheduling decision (useful for diagnosing placement behaviour).
 	Debug io.Writer
@@ -92,18 +100,23 @@ type Result struct {
 	// Heap reports the event-driven completion heap's counters; all zero
 	// on fixed-interval runs, which never build the heap.
 	Heap metrics.HeapStats
+	// Faults reports failure-plan activity; all zero without a plan.
+	Faults metrics.FaultStats
 }
 
 // Event is one job-lifecycle event in a run's timeline.
 type Event struct {
 	// Time is the virtual timestamp.
 	Time time.Duration
-	// Kind is "submit", "start", "restart", or "finish".
+	// Kind is "submit", "start", "restart", "finish", "fault", or
+	// "repair". Fault events carry the affected job (zero for a machine
+	// crash) and repair events mark a machine returning to service.
 	Kind string
 	// Job identifies the job.
 	Job job.ID
 	// Unit names the unit the job runs in (member IDs), empty on submit
-	// and finish events.
+	// and finish events; on machine-level fault/repair events it names
+	// the machine ("machine-3").
 	Unit string
 }
 
@@ -132,6 +145,10 @@ type unit struct {
 	// queued for a heap fix after an estimate invalidation.
 	heapIdx int
 	dirty   bool
+	// slow is the straggler slowdown baked into iterTime (> 1 when the
+	// unit landed on a slow machine of the fault plan); retime reapplies
+	// it after completions shrink the unit. Zero without a fault plan.
+	slow float64
 }
 
 // invalidate drops the unit's memoized completion estimate. Every
@@ -247,6 +264,28 @@ type sim struct {
 	// heap indexes running units by earliest completion for the
 	// event-driven clock; unused (never built) on fixed-interval runs.
 	heap completionHeap
+
+	// Failure-model state; all nil/zero when the plan is nil or empty.
+	plan *faults.Plan
+	// faultIdx is the cursor into plan.Events.
+	faultIdx int
+	// drawn records the highest execution attempt (job.Restarts value)
+	// for which a transient-fault draw was already taken, so preemptive
+	// policies re-placing a running job every interval draw once per
+	// attempt, not once per interval.
+	drawn map[job.ID]int
+	// jobFaults are scheduled transient faults not yet due. An entry is
+	// stale — and skipped — once its job finished or restarted into a
+	// newer attempt.
+	jobFaults []jobFault
+	fstats    metrics.FaultStats
+}
+
+// jobFault is one scheduled transient job fault.
+type jobFault struct {
+	at      time.Duration
+	job     job.ID
+	attempt int
 }
 
 // invalidateUnit drops a unit's memoized completion estimate and, on
@@ -283,6 +322,10 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		prevKeys: make(map[job.ID]string),
 		bypassed: make(map[job.ID]int),
 	}
+	if !cfg.Faults.Empty() {
+		s.plan = cfg.Faults
+		s.drawn = make(map[job.ID]int)
+	}
 	s.buildJobs(tr)
 	s.loop()
 	return Result{
@@ -293,6 +336,7 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		Preemptions: s.preemptions,
 		Timeline:    s.timeline,
 		Heap:        s.heap.snapshot(),
+		Faults:      s.fstats,
 	}
 }
 
@@ -338,6 +382,9 @@ func (s *sim) loop() {
 	s.now = s.all[0].Submit
 	for len(s.done) < len(s.all) {
 		s.admitArrivals()
+		if s.plan != nil {
+			s.applyFaults()
+		}
 		s.schedule()
 		next := s.now + s.cfg.Interval
 		if s.cfg.EventDriven {
@@ -361,9 +408,174 @@ func (s *sim) loop() {
 				next = a
 			}
 		}
+		// Wake exactly at the next crash/repair/transient-fault instant so
+		// preemption happens at the event time, not a whole interval late.
+		// applyFaults consumed everything due at s.now, so the clamp can
+		// never stall the clock.
+		if s.plan != nil {
+			if at, ok := s.nextFault(); ok && at > s.now && at < next {
+				next = at
+			}
+		}
 		s.advance(next)
 		s.now = next
 	}
+}
+
+// applyFaults applies every failure-plan event that has come due:
+// machine crashes preempt and requeue the units they host and shrink the
+// schedulable capacity, repairs restore it, and scheduled transient
+// faults push single members back to the queue. Events apply in
+// deterministic plan order at (or, across idle fast-forwards, with) the
+// timestamp they carry.
+func (s *sim) applyFaults() {
+	for s.faultIdx < len(s.plan.Events) && s.plan.Events[s.faultIdx].Time <= s.now {
+		e := s.plan.Events[s.faultIdx]
+		s.faultIdx++
+		if e.Machine < 0 || e.Machine >= s.cfg.Machines {
+			continue // plan generated for a bigger cluster
+		}
+		switch e.Kind {
+		case faults.MachineCrash:
+			s.crashMachine(e)
+		case faults.MachineRepair:
+			s.repairMachine(e)
+		}
+	}
+	if len(s.jobFaults) == 0 {
+		return
+	}
+	kept := s.jobFaults[:0]
+	for _, f := range s.jobFaults {
+		if f.at > s.now {
+			kept = append(kept, f)
+			continue
+		}
+		s.failJob(f)
+	}
+	s.jobFaults = kept
+}
+
+// nextFault returns the earliest pending failure-plan instant.
+func (s *sim) nextFault() (time.Duration, bool) {
+	var at time.Duration
+	ok := false
+	if s.faultIdx < len(s.plan.Events) {
+		at, ok = s.plan.Events[s.faultIdx].Time, true
+	}
+	for _, f := range s.jobFaults {
+		if !ok || f.at < at {
+			at, ok = f.at, true
+		}
+	}
+	return at, ok
+}
+
+// machineLabel names a machine in timeline events.
+func machineLabel(id int) string { return "machine-" + strconv.Itoa(id) }
+
+// recordAt appends a timeline event with an explicit timestamp (fault
+// and repair events carry the plan's time, which can precede s.now after
+// an idle fast-forward).
+func (s *sim) recordAt(at time.Duration, kind string, id job.ID, unit string) {
+	if s.cfg.RecordTimeline {
+		s.timeline = append(s.timeline, Event{Time: at, Kind: kind, Job: id, Unit: unit})
+	}
+}
+
+// crashMachine takes a machine down: every unit with GPUs on it is
+// preempted, its live members requeued from their last whole-iteration
+// checkpoint (the fractional carry is the work lost), and the capacity
+// disappears until the paired repair.
+func (s *sim) crashMachine(e faults.MachineEvent) {
+	if s.cluster.Machines()[e.Machine].Down() {
+		return // double crash cannot happen in a generated plan
+	}
+	s.fstats.Crashes++
+	s.recordAt(e.Time, "fault", 0, machineLabel(e.Machine))
+	var still []*unit
+	for _, u := range s.running {
+		if u.alloc.Slots[e.Machine] == 0 {
+			still = append(still, u)
+			continue
+		}
+		s.cluster.Release(u.alloc)
+		key := unitKey(u.spec)
+		for i, j := range u.spec.Jobs {
+			if j.State == job.Done {
+				continue
+			}
+			s.fstats.Requeues++
+			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
+			s.recordAt(e.Time, "fault", j.ID, key)
+			j.State = job.Pending
+			// Forget the placement so the next admission charges a full
+			// checkpoint restart even if the unit reforms identically.
+			delete(s.prevKeys, j.ID)
+			s.pending = append(s.pending, j)
+		}
+	}
+	s.running = still
+	s.heap.markStale()
+	s.cluster.SetDown(e.Machine)
+}
+
+// repairMachine returns a crashed machine to service.
+func (s *sim) repairMachine(e faults.MachineEvent) {
+	if !s.cluster.Machines()[e.Machine].Down() {
+		return
+	}
+	s.fstats.Repairs++
+	s.recordAt(e.Time, "repair", 0, machineLabel(e.Machine))
+	s.cluster.SetUp(e.Machine)
+}
+
+// failJob applies one scheduled transient fault: if the job is still in
+// the execution attempt the fault was drawn for, it is removed from its
+// unit and requeued; survivors keep running at their recomputed speed.
+// Stale entries (the job finished, or was preempted and restarted into a
+// newer attempt) are skipped.
+func (s *sim) failJob(f jobFault) {
+	for _, u := range s.running {
+		for i, j := range u.spec.Jobs {
+			if j.ID != f.job {
+				continue
+			}
+			if j.State != job.Running || j.Restarts != f.attempt {
+				return
+			}
+			s.fstats.Transient++
+			s.fstats.Requeues++
+			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
+			s.recordAt(f.at, "fault", j.ID, unitKey(u.spec))
+			j.State = job.Pending
+			delete(s.prevKeys, j.ID)
+			s.pending = append(s.pending, j)
+			s.removeMember(u, i)
+			return
+		}
+	}
+}
+
+// removeMember drops member index i from a unit, releasing the unit when
+// it empties and retiming the survivors otherwise.
+func (s *sim) removeMember(u *unit, i int) {
+	u.spec.Jobs = append(u.spec.Jobs[:i], u.spec.Jobs[i+1:]...)
+	u.iterTime = append(u.iterTime[:i], u.iterTime[i+1:]...)
+	u.carry = append(u.carry[:i], u.carry[i+1:]...)
+	if len(u.spec.Jobs) == 0 {
+		s.cluster.Release(u.alloc)
+		var still []*unit
+		for _, o := range s.running {
+			if o != u {
+				still = append(still, o)
+			}
+		}
+		s.running = still
+	} else {
+		s.retime(u)
+	}
+	s.heap.markStale()
 }
 
 // earliestCompletion predicts the soonest member completion across all
@@ -404,7 +616,15 @@ func (s *sim) schedule() {
 	} else {
 		candidates = append(candidates, s.pending...)
 	}
-	units := s.policy.Plan(s.now, candidates, s.cluster.TotalGPUs())
+	// Plan against in-service capacity. Without a fault plan no machine is
+	// ever down, so AvailableGPUs equals TotalGPUs and behavior is
+	// unchanged; under a plan, a fully-crashed cluster has nothing to
+	// schedule (crashMachine already requeued everything).
+	capacity := s.cluster.AvailableGPUs()
+	if s.plan != nil && capacity == 0 {
+		return
+	}
+	units := s.policy.Plan(s.now, candidates, capacity)
 
 	// Remember per-job fractional progress so continuing jobs lose no
 	// partial iterations across intervals.
@@ -505,6 +725,21 @@ func (s *sim) schedule() {
 			iterTime: memberIterTimes(spec, s.cfg.Interleave),
 			carry:    make([]float64, len(spec.Jobs)),
 		}
+		if s.plan != nil {
+			// A unit runs at the pace of its slowest machine: distributed
+			// workers synchronize every iteration, so one straggler drags
+			// the whole allocation.
+			for _, m := range alloc.Machines() {
+				if f := s.plan.SlowdownFor(m); f > u.slow {
+					u.slow = f
+				}
+			}
+			if u.slow > 1 {
+				for i := range u.iterTime {
+					u.iterTime[i] = time.Duration(float64(u.iterTime[i]) * u.slow)
+				}
+			}
+		}
 		key := unitKey(spec)
 		for i, j := range spec.Jobs {
 			if s.prevKeys[j.ID] == key {
@@ -528,6 +763,33 @@ func (s *sim) schedule() {
 		if restart && s.cfg.RestartOverhead > 0 {
 			u.readyAt = s.now + s.cfg.RestartOverhead
 			s.preemptions++
+		}
+		if s.plan != nil {
+			// Transient-fault draws: exactly one per execution attempt
+			// (attempt = restart count), even though preemptive policies
+			// re-place running jobs every interval. The fault, if drawn,
+			// strikes at a hash-chosen fraction of the attempt's estimated
+			// remaining work.
+			for i, j := range spec.Jobs {
+				attempt := j.Restarts
+				if prev, ok := s.drawn[j.ID]; ok && prev >= attempt {
+					continue
+				}
+				s.drawn[j.ID] = attempt
+				frac, fault := s.plan.TransientFault(int64(j.ID), attempt)
+				if !fault {
+					continue
+				}
+				remaining := float64(j.RemainingIterations()) - u.carry[i]
+				if remaining < 0 {
+					remaining = 0
+				}
+				at := u.readyAt + time.Duration(frac*remaining*float64(u.iterTime[i]))
+				if at <= s.now {
+					at = s.now + time.Millisecond
+				}
+				s.jobFaults = append(s.jobFaults, jobFault{at: at, job: j.ID, attempt: attempt})
+			}
 		}
 		for _, j := range spec.Jobs {
 			j.State = job.Running
@@ -772,6 +1034,9 @@ func (s *sim) retime(u *unit) {
 	for i, j := range u.spec.Jobs {
 		if j.State != job.Done {
 			u.iterTime[i] = times[k]
+			if u.slow > 1 {
+				u.iterTime[i] = time.Duration(float64(u.iterTime[i]) * u.slow)
+			}
 			k++
 		}
 	}
