@@ -73,6 +73,10 @@ func main() {
 				st.Faults.Crashes, st.Faults.Transient, st.Faults.Requeues)
 		}
 		fmt.Println(line)
+		if e := st.Engine; e != nil {
+			fmt.Printf("engine: rounds=%d decisions=%d launches=%d preemptions=%d requeues=%d queue=%d\n",
+				e.Rounds, e.Decisions, e.Launches, e.Preemptions, e.Requeues, e.QueueDepth)
+		}
 		for _, j := range st.Jobs {
 			line := fmt.Sprintf("job %d %-10s %-10s %d/%d iterations", j.ID, j.Model, j.State, j.DoneIterations, j.Iterations)
 			if j.JCT > 0 {

@@ -1,0 +1,536 @@
+// Package engine is the shared scheduling decision core behind both the
+// trace-driven simulator (internal/sim) and the live daemon
+// (internal/server). The paper validates Muri by running the same
+// policies through a testbed prototype and a simulator with <3%
+// divergence (§6); this package makes that structural: one queue and
+// lifecycle state machine, one unit canonicalization, one admission
+// sweep with anti-starvation, one preemption reconciliation, and one
+// fault/retry/backoff path. The drivers stay thin — the simulator feeds
+// virtual-clock events, the daemon feeds wall-clock/network events, and
+// both consume the engine's decision stream (launch, kill, requeue,
+// deadletter) instead of deciding inline. A parity harness replays one
+// scripted event sequence through both drivers and asserts the streams
+// are byte-identical.
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/metrics"
+	"muri/internal/sched"
+)
+
+// Style selects how a preemptive round reconciles the running set.
+// Non-preemptive rounds behave identically under both styles: running
+// units are untouchable and only new units are admitted into free
+// capacity.
+type Style int
+
+const (
+	// ReplaceAll releases every allocation and re-places the full
+	// admitted set each round (the simulator: placement is cheap and
+	// bit-exact virtual state carries across). Units re-placed under an
+	// unchanged key are continuations, not restarts.
+	ReplaceAll Style = iota
+	// Differential keeps running units whose key is re-admitted, kills
+	// the rest to reclaim capacity, and places only the new keys (the
+	// daemon: a launch is a real RPC, so same-key units must keep their
+	// processes).
+	Differential
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Policy decides grouping and ordering. Required.
+	Policy sched.Policy
+	// Style is the preemption reconciliation style.
+	Style Style
+	// StarvationPatience is how many scheduling rounds a unit may be
+	// bypassed (skipped for capacity while a lower-priority unit was
+	// admitted) before it is boosted to the front of the admission order.
+	// Zero uses the default of 5 rounds.
+	StarvationPatience int
+	// Retry governs fault requeue backoff and the dead-letter budget.
+	// The zero value dead-letters on the first fault with no backoff;
+	// drivers set it explicitly (Budget -1 for unlimited retries).
+	Retry RetryPolicy
+	// Observer, when non-nil, receives every decision as it is issued.
+	Observer func(Decision)
+}
+
+// Record is the engine's lifecycle state for one tracked job.
+type Record struct {
+	// Phase is the job's current lifecycle phase.
+	Phase Phase
+	// Faults counts recorded faults (retry-budget spend).
+	Faults int
+}
+
+// Engine owns the scheduling decision path. It is not safe for
+// concurrent use; the daemon drives it under its own mutex and the
+// simulator is single-threaded.
+type Engine struct {
+	cfg Config
+	// prevKeys remembers each running job's unit key from the previous
+	// round; an unchanged key means the job continues without a restart.
+	prevKeys map[job.ID]string
+	// bypassed counts consecutive rounds a job's unit was skipped for
+	// capacity while a lower-priority unit was admitted.
+	bypassed map[job.ID]int
+	// records holds lifecycle state for tracked jobs. The simulator does
+	// not track jobs (it keeps job.State); the daemon tracks every
+	// submission.
+	records map[job.ID]*Record
+	stats   metrics.EngineStats
+	seq     uint64
+}
+
+// New creates an engine. It panics without a policy.
+func New(cfg Config) *Engine {
+	if cfg.Policy == nil {
+		panic("engine: config needs a policy")
+	}
+	if cfg.StarvationPatience <= 0 {
+		cfg.StarvationPatience = 5
+	}
+	return &Engine{
+		cfg:      cfg,
+		prevKeys: make(map[job.ID]string),
+		bypassed: make(map[job.ID]int),
+		records:  make(map[job.ID]*Record),
+	}
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() metrics.EngineStats { return e.stats }
+
+// emit stamps and publishes one decision.
+func (e *Engine) emit(d Decision) Decision {
+	e.seq++
+	d.Seq = e.seq
+	e.stats.Decisions++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(d)
+	}
+	return d
+}
+
+// Track registers a job in the lifecycle state machine at the given
+// phase (the daemon: profiling or pending at submission).
+func (e *Engine) Track(id job.ID, p Phase) {
+	e.records[id] = &Record{Phase: p}
+}
+
+// PhaseOf returns a tracked job's phase ("" when untracked).
+func (e *Engine) PhaseOf(id job.ID) Phase {
+	if r := e.records[id]; r != nil {
+		return r.Phase
+	}
+	return ""
+}
+
+// FaultsOf returns a tracked job's recorded fault count.
+func (e *Engine) FaultsOf(id job.ID) int {
+	if r := e.records[id]; r != nil {
+		return r.Faults
+	}
+	return 0
+}
+
+// SetPhase applies a lifecycle transition if the state machine permits
+// it, reporting whether it was applied. The transition table doubles as
+// the guard the daemon historically wrote by hand (e.g. a completion
+// for an already-done job is a no-op).
+func (e *Engine) SetPhase(id job.ID, to Phase) bool {
+	r := e.records[id]
+	if r == nil || !r.Phase.CanTransition(to) {
+		return false
+	}
+	r.Phase = to
+	return true
+}
+
+// markRunning moves a tracked job to running at placement time.
+func (e *Engine) markRunning(id job.ID) {
+	if r := e.records[id]; r != nil && r.Phase.CanTransition(PhaseRunning) {
+		r.Phase = PhaseRunning
+	}
+}
+
+// Requeue records a job pushed back to the queue through no fault of its
+// own (machine crash, evicted executor): the placement memory is
+// forgotten — so the next admission charges a full restart even if the
+// unit reforms identically — but no retry budget is spent. Tracked jobs
+// move running → pending.
+func (e *Engine) Requeue(id job.ID, reason Reason) Decision {
+	delete(e.prevKeys, id)
+	if r := e.records[id]; r != nil && r.Phase == PhaseRunning {
+		r.Phase = PhasePending
+	}
+	e.stats.Requeues++
+	return e.emit(Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: reason})
+}
+
+// RecordFault records a job-level fault: retry budget is spent and the
+// job is either requeued (with the returned backoff) or dead-lettered.
+// The job's progress is untouched — the next launch resumes from its
+// checkpoint. Untracked jobs are tracked on first fault so the budget
+// accumulates.
+func (e *Engine) RecordFault(id job.ID) (backoff time.Duration, deadlettered bool) {
+	r := e.records[id]
+	if r == nil {
+		r = &Record{}
+		e.records[id] = r
+	}
+	r.Faults++
+	delete(e.prevKeys, id)
+	if e.cfg.Retry.Exhausted(r.Faults) {
+		r.Phase = PhaseDeadletter
+		e.stats.DeadLettered++
+		e.emit(Decision{Action: ActDeadletter, Jobs: []job.ID{id}})
+		return 0, true
+	}
+	r.Phase = PhasePending
+	e.stats.Requeues++
+	e.emit(Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: ReasonFault})
+	return e.cfg.Retry.Backoff(int64(id), r.Faults), false
+}
+
+// Input is everything one scheduling round needs from the driver.
+type Input struct {
+	// Now is the driver's clock (virtual for the simulator, virtualized
+	// wall time for the daemon).
+	Now time.Duration
+	// Candidates are the jobs the policy may plan over: pending jobs,
+	// plus running jobs for preemptive policies. Jobs held back (fault
+	// backoff) are simply omitted.
+	Candidates []*job.Job
+	// Pending is the driver's pending queue; Reconcile returns its
+	// rebuilt successor in Outcome.Pending. Nil when the driver keeps no
+	// explicit queue (the daemon derives it from phases).
+	Pending []*job.Job
+	// Capacity is the total in-service GPU capacity, passed to the
+	// policy.
+	Capacity int
+	// Current lists the units running as the round begins, in the
+	// driver's stable order.
+	Current []Current
+	// Placer places admitted units. Required.
+	Placer Placer
+	// Kill executes a preemption under the Differential style, freeing
+	// the unit's capacity before new placements. Ignored by ReplaceAll
+	// (Placer.Reset already released everything).
+	Kill func(Current)
+}
+
+// Member is one job of a placement, with its restart classification
+// relative to the previous round.
+type Member struct {
+	Job *job.Job
+	// Fresh means the job obtained resources for the first time.
+	Fresh bool
+	// Restart means the job resumes after preemption or its unit's
+	// composition changed — either way the worker process restarts.
+	Restart bool
+	// Continues means the job keeps running in the same unit as last
+	// round: fractional progress carries over and no restart is charged.
+	Continues bool
+}
+
+// Placement is one unit the placer accepted this round.
+type Placement struct {
+	// Key is the unit's canonical key.
+	Key string
+	// Spec is the placed unit.
+	Spec sched.Unit
+	// Handle is the placer's opaque placement handle.
+	Handle any
+	// Members classifies each member, in Spec.Jobs order.
+	Members []Member
+	// Restart reports whether any member restarted (the driver charges
+	// restart overhead once per unit).
+	Restart bool
+}
+
+// Outcome is the result of one scheduling round.
+type Outcome struct {
+	// Planned is the policy's raw unit list, before admission.
+	Planned []sched.Unit
+	// Placements are the units placed this round, in placement order
+	// (descending GPUs).
+	Placements []Placement
+	// Kept are the current units that keep running untouched.
+	Kept []Current
+	// Killed are the current units preempted this round (Differential:
+	// executed through Input.Kill; ReplaceAll: their re-placement failed
+	// or was not re-admitted).
+	Killed []Current
+	// Pending is the rebuilt pending queue (Input.Pending minus placed
+	// jobs, plus preempted-but-unplaced candidates, sorted by submit
+	// time for preemptive policies).
+	Pending []*job.Job
+	// Decisions is the round's decision stream: kills in current order,
+	// then launches in placement order. Same-key re-placements are
+	// continuations and appear in neither.
+	Decisions []Decision
+}
+
+// Reconcile runs one scheduling round: invoke the policy, order units
+// with anti-starvation, admit into capacity, reconcile preemptions,
+// place, and rebuild the queue and placement memory. The admission and
+// placement path is the simulator's historical loop moved here verbatim,
+// so fixed-seed simulations stay bit-identical.
+func (e *Engine) Reconcile(in Input) Outcome {
+	e.stats.Rounds++
+	preempt := e.cfg.Policy.Preemptive()
+	units := e.cfg.Policy.Plan(in.Now, in.Candidates, in.Capacity)
+	out := Outcome{Planned: units}
+
+	curKeys := make([]string, len(in.Current))
+	currentKeys := make(map[string]bool, len(in.Current))
+	for i := range in.Current {
+		curKeys[i] = UnitKey(in.Current[i].Spec)
+		currentKeys[curKeys[i]] = true
+	}
+
+	// Capacity budget and already-claimed jobs. Preemptive rounds
+	// reconsider everything: ReplaceAll physically releases all
+	// allocations, Differential counts running units as reclaimable.
+	// Non-preemptive rounds keep running units and their members off the
+	// table.
+	placedJobs := make(map[job.ID]bool)
+	var free int
+	switch {
+	case preempt && e.cfg.Style == ReplaceAll:
+		in.Placer.Reset()
+		free = in.Placer.Free()
+	case preempt:
+		free = in.Placer.Free()
+		for _, c := range in.Current {
+			free += c.Spec.GPUs
+		}
+	default:
+		free = in.Placer.Free()
+		for _, c := range in.Current {
+			for _, j := range c.Spec.Jobs {
+				placedJobs[j.ID] = true
+			}
+		}
+	}
+
+	// Anti-starvation: units whose members have been bypassed too many
+	// rounds jump to the front of the admission order (stable within each
+	// class), so a large multi-GPU unit cannot be blocked forever by a
+	// stream of small higher-priority units.
+	starving := func(spec sched.Unit) bool {
+		for _, j := range spec.Jobs {
+			if e.bypassed[j.ID] >= e.cfg.StarvationPatience {
+				return true
+			}
+		}
+		return false
+	}
+	orderedUnits := make([]sched.Unit, 0, len(units))
+	for _, spec := range units {
+		if starving(spec) {
+			orderedUnits = append(orderedUnits, spec)
+		}
+	}
+	for _, spec := range units {
+		if !starving(spec) {
+			orderedUnits = append(orderedUnits, spec)
+		}
+	}
+
+	// Admission: walk in priority order, admitting units that fit in the
+	// remaining capacity. Units skipped for capacity while a later unit
+	// is admitted accumulate a bypass count.
+	var admitted []sched.Unit
+	var skipped []sched.Unit
+	bumped := make(map[job.ID]bool)
+	claimed := make(map[job.ID]bool)
+	for id := range placedJobs {
+		claimed[id] = true
+	}
+	for _, spec := range orderedUnits {
+		conflict := false
+		for _, j := range spec.Jobs {
+			if claimed[j.ID] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		if spec.GPUs > free {
+			skipped = append(skipped, spec)
+			continue
+		}
+		free -= spec.GPUs
+		admitted = append(admitted, spec)
+		for _, j := range spec.Jobs {
+			claimed[j.ID] = true
+		}
+		for _, sk := range skipped {
+			for _, j := range sk.Jobs {
+				if !bumped[j.ID] {
+					bumped[j.ID] = true
+					e.bypassed[j.ID]++
+				}
+			}
+		}
+		skipped = skipped[:0]
+	}
+
+	// Preemption reconciliation. Differential keeps re-admitted keys,
+	// kills the rest (through the driver, so capacity frees before
+	// placement), and places only the new keys. ReplaceAll re-places the
+	// whole admitted set; kills fall out of the key diff afterwards.
+	toPlace := admitted
+	if preempt && e.cfg.Style == Differential {
+		admittedKeys := make(map[string]bool, len(admitted))
+		for _, spec := range admitted {
+			admittedKeys[UnitKey(spec)] = true
+		}
+		keptKeys := make(map[string]bool)
+		for i, c := range in.Current {
+			if admittedKeys[curKeys[i]] {
+				out.Kept = append(out.Kept, c)
+				keptKeys[curKeys[i]] = true
+				continue
+			}
+			out.Killed = append(out.Killed, c)
+			if in.Kill != nil {
+				in.Kill(c)
+			}
+		}
+		for _, c := range out.Kept {
+			for _, j := range c.Spec.Jobs {
+				placedJobs[j.ID] = true
+			}
+		}
+		toPlace = toPlace[:0]
+		for _, spec := range admitted {
+			if !keptKeys[UnitKey(spec)] {
+				toPlace = append(toPlace, spec)
+			}
+		}
+	} else if !preempt {
+		out.Kept = in.Current
+	}
+
+	// Placement: descending GPU order so large units claim whole machines
+	// before small units fragment them (§5). Member classification uses
+	// the previous round's placement memory.
+	sort.SliceStable(toPlace, func(i, k int) bool { return toPlace[i].GPUs > toPlace[k].GPUs })
+	for _, spec := range toPlace {
+		key := UnitKey(spec)
+		handle, ok := in.Placer.Place(key, spec)
+		if !ok {
+			continue // fragmentation despite descending order; rare
+		}
+		p := Placement{Key: key, Spec: spec, Handle: handle, Members: make([]Member, len(spec.Jobs))}
+		for i, j := range spec.Jobs {
+			prev, wasRunning := e.prevKeys[j.ID]
+			m := Member{Job: j}
+			if j.StartedAt < 0 {
+				m.Fresh = true
+			} else if !wasRunning || prev != key {
+				m.Restart = true
+				p.Restart = true
+			}
+			m.Continues = wasRunning && prev == key
+			p.Members[i] = m
+		}
+		for _, j := range spec.Jobs {
+			j.State = job.Running
+			placedJobs[j.ID] = true
+			e.markRunning(j.ID)
+		}
+		out.Placements = append(out.Placements, p)
+	}
+
+	// ReplaceAll kill diff: current units whose key did not survive into
+	// the placed set were preempted.
+	if preempt && e.cfg.Style == ReplaceAll {
+		placedKeys := make(map[string]bool, len(out.Placements))
+		for _, p := range out.Placements {
+			placedKeys[p.Key] = true
+		}
+		for i, c := range in.Current {
+			if !placedKeys[curKeys[i]] {
+				out.Killed = append(out.Killed, c)
+			}
+		}
+	}
+
+	// Decision stream: kills first (current order), then launches
+	// (placement order). Same-key re-placements are continuations and
+	// emit nothing.
+	for _, c := range out.Killed {
+		e.stats.Preemptions++
+		out.Decisions = append(out.Decisions,
+			e.emit(Decision{Action: ActKill, Key: UnitKey(c.Spec), Jobs: memberIDs(c.Spec)}))
+	}
+	for _, p := range out.Placements {
+		if currentKeys[p.Key] {
+			continue
+		}
+		e.stats.Launches++
+		out.Decisions = append(out.Decisions,
+			e.emit(Decision{Action: ActLaunch, Key: p.Key, Jobs: memberIDs(p.Spec)}))
+	}
+
+	// Rebuild the pending queue and the placement memory.
+	e.prevKeys = make(map[job.ID]string, len(placedJobs))
+	var newPending []*job.Job
+	for _, j := range in.Pending {
+		if !placedJobs[j.ID] {
+			j.State = job.Pending
+			newPending = append(newPending, j)
+		}
+	}
+	if preempt {
+		// Preempted-but-not-replaced jobs rejoin the queue.
+		seen := make(map[job.ID]bool)
+		for _, j := range newPending {
+			seen[j.ID] = true
+		}
+		for _, j := range in.Candidates {
+			if !placedJobs[j.ID] && !seen[j.ID] && j.State != job.Done {
+				j.State = job.Pending
+				newPending = append(newPending, j)
+				seen[j.ID] = true
+			}
+		}
+		sort.SliceStable(newPending, func(i, k int) bool {
+			return newPending[i].Submit < newPending[k].Submit
+		})
+	}
+	out.Pending = newPending
+	remember := func(spec sched.Unit) {
+		key := UnitKey(spec)
+		for _, j := range spec.Jobs {
+			e.prevKeys[j.ID] = key
+			delete(e.bypassed, j.ID) // running resets starvation credit
+		}
+	}
+	for _, c := range out.Kept {
+		remember(c.Spec)
+	}
+	for _, p := range out.Placements {
+		remember(p.Spec)
+	}
+
+	depth := 0
+	for _, j := range in.Candidates {
+		if !placedJobs[j.ID] && j.State != job.Done {
+			depth++
+		}
+	}
+	e.stats.QueueDepth = depth
+	return out
+}

@@ -1,0 +1,378 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"muri/internal/engine"
+	"muri/internal/job"
+	"muri/internal/sched"
+	"muri/internal/workload"
+)
+
+// scriptedPolicy lets a test dictate each round's plan exactly.
+type scriptedPolicy struct {
+	preempt bool
+	plan    func(now time.Duration, jobs []*job.Job, capacity int) []sched.Unit
+}
+
+func (p scriptedPolicy) Name() string     { return "scripted" }
+func (p scriptedPolicy) Preemptive() bool { return p.preempt }
+func (p scriptedPolicy) Plan(now time.Duration, jobs []*job.Job, capacity int) []sched.Unit {
+	return p.plan(now, jobs, capacity)
+}
+
+// fakePlacer is a counting placer over a fixed GPU budget.
+type fakePlacer struct {
+	capacity int
+	free     int
+	placed   []string
+}
+
+func newFakePlacer(capacity int) *fakePlacer {
+	return &fakePlacer{capacity: capacity, free: capacity}
+}
+
+func (p *fakePlacer) Free() int { return p.free }
+
+func (p *fakePlacer) Reset() {
+	p.free = p.capacity
+	p.placed = nil
+}
+
+func (p *fakePlacer) Place(key string, u sched.Unit) (any, bool) {
+	if u.GPUs > p.free {
+		return nil, false
+	}
+	p.free -= u.GPUs
+	p.placed = append(p.placed, key)
+	return key, true
+}
+
+func newJob(t *testing.T, id int64, gpus int) *job.Job {
+	t.Helper()
+	m, err := workload.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job.New(job.ID(id), m, gpus, 1000, 0)
+}
+
+func decisionStrings(ds []engine.Decision) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReconcileAdmitsIntoCapacity(t *testing.T) {
+	j1, j2 := newJob(t, 1, 1), newJob(t, 2, 1)
+	u1 := sched.Unit{Jobs: []*job.Job{j1}, GPUs: 1, Mode: sched.Exclusive}
+	u2 := sched.Unit{Jobs: []*job.Job{j2}, GPUs: 1, Mode: sched.Exclusive}
+	e := engine.New(engine.Config{
+		Policy: scriptedPolicy{plan: func(time.Duration, []*job.Job, int) []sched.Unit {
+			return []sched.Unit{u1, u2}
+		}},
+	})
+	out := e.Reconcile(engine.Input{
+		Candidates: []*job.Job{j1, j2},
+		Pending:    []*job.Job{j1, j2},
+		Capacity:   1,
+		Placer:     newFakePlacer(1),
+	})
+	want := []string{"launch exclusive:1"}
+	if got := decisionStrings(out.Decisions); !equalStrings(got, want) {
+		t.Errorf("decisions = %v, want %v", got, want)
+	}
+	if len(out.Pending) != 1 || out.Pending[0] != j2 {
+		t.Errorf("pending = %v, want just job 2", out.Pending)
+	}
+	if st := e.Stats(); st.Rounds != 1 || st.Launches != 1 || st.QueueDepth != 1 {
+		t.Errorf("stats = %+v, want 1 round, 1 launch, queue depth 1", st)
+	}
+}
+
+func TestStarvationBoostPromotesBypassedUnit(t *testing.T) {
+	jA, jB, jC := newJob(t, 1, 1), newJob(t, 2, 1), newJob(t, 3, 2)
+	uA := sched.Unit{Jobs: []*job.Job{jA}, GPUs: 1, Mode: sched.Exclusive}
+	uB := sched.Unit{Jobs: []*job.Job{jB}, GPUs: 1, Mode: sched.Exclusive}
+	uC := sched.Unit{Jobs: []*job.Job{jC}, GPUs: 2, Mode: sched.Exclusive}
+	e := engine.New(engine.Config{
+		Style:              engine.ReplaceAll,
+		StarvationPatience: 1,
+		// C is planned ahead of B, so admitting B past it charges C one
+		// bypass per round.
+		Policy: scriptedPolicy{preempt: true, plan: func(time.Duration, []*job.Job, int) []sched.Unit {
+			return []sched.Unit{uA, uC, uB}
+		}},
+	})
+	placer := newFakePlacer(2)
+	round := func(current []engine.Current) engine.Outcome {
+		return e.Reconcile(engine.Input{
+			Candidates: []*job.Job{jA, jB, jC},
+			Capacity:   2,
+			Current:    current,
+			Placer:     placer,
+		})
+	}
+	out := round(nil)
+	want := []string{"launch exclusive:1", "launch exclusive:2"}
+	if got := decisionStrings(out.Decisions); !equalStrings(got, want) {
+		t.Fatalf("round 1 decisions = %v, want %v", got, want)
+	}
+	// Round 2: C has been bypassed past its patience, so it is boosted to
+	// the front, takes the whole capacity, and A/B are preempted.
+	current := []engine.Current{
+		{Spec: uA, Handle: "a"},
+		{Spec: uB, Handle: "b"},
+	}
+	out = round(current)
+	want = []string{"kill exclusive:1", "kill exclusive:2", "launch exclusive:3"}
+	if got := decisionStrings(out.Decisions); !equalStrings(got, want) {
+		t.Errorf("round 2 decisions = %v, want %v", got, want)
+	}
+	if st := e.Stats(); st.Preemptions != 2 || st.Launches != 3 {
+		t.Errorf("stats = %+v, want 2 preemptions, 3 launches", st)
+	}
+}
+
+func TestDifferentialKeepsSameKeyKillsRest(t *testing.T) {
+	j1, j2, j3 := newJob(t, 1, 1), newJob(t, 2, 1), newJob(t, 3, 1)
+	uX := sched.Unit{Jobs: []*job.Job{j1}, GPUs: 1, Mode: sched.Exclusive}
+	uY := sched.Unit{Jobs: []*job.Job{j2}, GPUs: 1, Mode: sched.Exclusive}
+	uZ := sched.Unit{Jobs: []*job.Job{j3}, GPUs: 1, Mode: sched.Exclusive}
+	e := engine.New(engine.Config{
+		Style: engine.Differential,
+		// The plan keeps X, drops Y, introduces Z.
+		Policy: scriptedPolicy{preempt: true, plan: func(time.Duration, []*job.Job, int) []sched.Unit {
+			return []sched.Unit{uX, uZ}
+		}},
+	})
+	placer := newFakePlacer(2)
+	placer.free = 0 // X and Y hold both GPUs as the round begins
+	var killed []string
+	out := e.Reconcile(engine.Input{
+		Candidates: []*job.Job{j1, j2, j3},
+		Capacity:   2,
+		Current: []engine.Current{
+			{Spec: uX, Handle: "x"},
+			{Spec: uY, Handle: "y"},
+		},
+		Placer: placer,
+		Kill: func(c engine.Current) {
+			killed = append(killed, c.Handle.(string))
+			placer.free += c.Spec.GPUs
+		},
+	})
+	if len(killed) != 1 || killed[0] != "y" {
+		t.Errorf("killed handles = %v, want [y]", killed)
+	}
+	if len(out.Kept) != 1 || out.Kept[0].Handle != "x" {
+		t.Errorf("kept = %v, want the X unit", out.Kept)
+	}
+	want := []string{"kill exclusive:2", "launch exclusive:3"}
+	if got := decisionStrings(out.Decisions); !equalStrings(got, want) {
+		t.Errorf("decisions = %v, want %v", got, want)
+	}
+	if len(out.Pending) != 1 || out.Pending[0] != j2 {
+		t.Errorf("pending = %v, want just the preempted job 2", out.Pending)
+	}
+}
+
+func TestMemberRestartClassification(t *testing.T) {
+	j1, j2 := newJob(t, 1, 1), newJob(t, 2, 1)
+	solo := sched.Unit{Jobs: []*job.Job{j1}, GPUs: 1, Mode: sched.Exclusive}
+	pair := sched.Unit{Jobs: []*job.Job{j1, j2}, GPUs: 1, Mode: sched.Interleaved}
+	plans := [][]sched.Unit{{solo}, {solo}, {pair}}
+	roundIdx := 0
+	e := engine.New(engine.Config{
+		Style: engine.ReplaceAll,
+		Policy: scriptedPolicy{preempt: true, plan: func(time.Duration, []*job.Job, int) []sched.Unit {
+			return plans[roundIdx]
+		}},
+	})
+	placer := newFakePlacer(2)
+	var current []engine.Current
+	run := func() engine.Outcome {
+		out := e.Reconcile(engine.Input{
+			Candidates: []*job.Job{j1, j2},
+			Capacity:   2,
+			Current:    current,
+			Placer:     placer,
+		})
+		current = current[:0]
+		for _, p := range out.Placements {
+			current = append(current, engine.Current{Spec: p.Spec, Handle: p.Key})
+			// The driver stamps first-start times; the engine's Fresh flag
+			// keys off StartedAt.
+			for _, m := range p.Members {
+				if m.Fresh {
+					m.Job.StartedAt = 0
+				}
+			}
+		}
+		roundIdx++
+		return out
+	}
+
+	out := run()
+	if m := out.Placements[0].Members[0]; !m.Fresh || m.Restart || m.Continues {
+		t.Errorf("round 1: job 1 = %+v, want fresh", m)
+	}
+	out = run()
+	if m := out.Placements[0].Members[0]; !m.Continues || m.Fresh || m.Restart {
+		t.Errorf("round 2: job 1 = %+v, want continues (same key)", m)
+	}
+	if out.Placements[0].Restart {
+		t.Error("round 2: same-key re-placement charged a unit restart")
+	}
+	out = run()
+	p := out.Placements[0]
+	if m := p.Members[0]; !m.Restart || m.Continues {
+		t.Errorf("round 3: job 1 = %+v, want restart (unit composition changed)", m)
+	}
+	if m := p.Members[1]; !m.Fresh || m.Restart {
+		t.Errorf("round 3: job 2 = %+v, want fresh", m)
+	}
+	if !p.Restart {
+		t.Error("round 3: reformed unit should charge a restart")
+	}
+}
+
+func TestRecordFaultBudgetAndDeadletter(t *testing.T) {
+	var seen []string
+	retry := engine.RetryPolicy{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		Budget:      2,
+	}
+	e := engine.New(engine.Config{
+		Policy:   scriptedPolicy{plan: func(time.Duration, []*job.Job, int) []sched.Unit { return nil }},
+		Retry:    retry,
+		Observer: func(d engine.Decision) { seen = append(seen, d.String()) },
+	})
+	e.Track(5, engine.PhasePending)
+	for attempt := 1; attempt <= 2; attempt++ {
+		backoff, dead := e.RecordFault(5)
+		if dead {
+			t.Fatalf("fault %d dead-lettered inside budget", attempt)
+		}
+		if want := retry.Backoff(5, attempt); backoff != want {
+			t.Errorf("fault %d backoff = %v, want %v", attempt, backoff, want)
+		}
+		if ph := e.PhaseOf(5); ph != engine.PhasePending {
+			t.Errorf("fault %d phase = %v, want pending", attempt, ph)
+		}
+	}
+	if _, dead := e.RecordFault(5); !dead {
+		t.Fatal("third fault should exhaust a budget of 2")
+	}
+	if ph := e.PhaseOf(5); ph != engine.PhaseDeadletter {
+		t.Errorf("phase = %v, want deadletter", ph)
+	}
+	if n := e.FaultsOf(5); n != 3 {
+		t.Errorf("faults = %d, want 3", n)
+	}
+	want := []string{"requeue 5 (fault)", "requeue 5 (fault)", "deadletter 5"}
+	if !equalStrings(seen, want) {
+		t.Errorf("decision stream = %v, want %v", seen, want)
+	}
+	if st := e.Stats(); st.Requeues != 2 || st.DeadLettered != 1 || st.Decisions != 3 {
+		t.Errorf("stats = %+v, want 2 requeues, 1 dead-lettered, 3 decisions", st)
+	}
+}
+
+func TestRetryBackoffDoublesToCapDeterministically(t *testing.T) {
+	r := engine.RetryPolicy{BackoffBase: 100 * time.Millisecond, BackoffMax: 800 * time.Millisecond}
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := r.BackoffBase << (attempt - 1)
+		if base > r.BackoffMax {
+			base = r.BackoffMax
+		}
+		got := r.Backoff(42, attempt)
+		if got < base || got > base+base/4 {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, got, base, base+base/4)
+		}
+		if again := r.Backoff(42, attempt); again != got {
+			t.Errorf("attempt %d: backoff not deterministic (%v vs %v)", attempt, got, again)
+		}
+	}
+	if r.Backoff(1, 2) == r.Backoff(2, 2) {
+		t.Error("jitter does not decorrelate different jobs")
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	cases := []struct {
+		from, to engine.Phase
+		ok       bool
+	}{
+		{engine.PhaseProfiling, engine.PhasePending, true},
+		{engine.PhaseProfiling, engine.PhaseRunning, false},
+		{engine.PhasePending, engine.PhaseRunning, true},
+		{engine.PhasePending, engine.PhasePending, true},
+		{engine.PhasePending, engine.PhaseDone, true},
+		{engine.PhasePending, engine.PhaseDeadletter, true},
+		{engine.PhaseRunning, engine.PhasePending, true},
+		{engine.PhaseRunning, engine.PhaseDone, true},
+		{engine.PhaseRunning, engine.PhaseProfiling, false},
+		{engine.PhaseDeadletter, engine.PhaseDone, true},
+		{engine.PhaseDeadletter, engine.PhasePending, false},
+		{engine.PhaseDone, engine.PhasePending, false},
+		{engine.PhaseDone, engine.PhaseDone, false},
+	}
+	for _, c := range cases {
+		if got := c.from.CanTransition(c.to); got != c.ok {
+			t.Errorf("CanTransition(%s -> %s) = %v, want %v", c.from, c.to, got, c.ok)
+		}
+	}
+	e := engine.New(engine.Config{
+		Policy: scriptedPolicy{plan: func(time.Duration, []*job.Job, int) []sched.Unit { return nil }},
+	})
+	e.Track(1, engine.PhaseProfiling)
+	if e.SetPhase(1, engine.PhaseDone) {
+		t.Error("profiling -> done applied; the state machine should reject it")
+	}
+	if !e.SetPhase(1, engine.PhasePending) || e.PhaseOf(1) != engine.PhasePending {
+		t.Error("profiling -> pending rejected")
+	}
+	if e.SetPhase(2, engine.PhasePending) {
+		t.Error("transition applied to an untracked job")
+	}
+}
+
+func TestRequeueDecisionString(t *testing.T) {
+	var seen []string
+	e := engine.New(engine.Config{
+		Policy:   scriptedPolicy{plan: func(time.Duration, []*job.Job, int) []sched.Unit { return nil }},
+		Observer: func(d engine.Decision) { seen = append(seen, d.String()) },
+	})
+	e.Track(4, engine.PhasePending)
+	e.SetPhase(4, engine.PhaseRunning)
+	d := e.Requeue(4, engine.ReasonMachineLost)
+	if d.String() != "requeue 4 (machine-lost)" {
+		t.Errorf("decision = %q, want %q", d.String(), "requeue 4 (machine-lost)")
+	}
+	if ph := e.PhaseOf(4); ph != engine.PhasePending {
+		t.Errorf("phase = %v, want pending after machine-lost requeue", ph)
+	}
+	if n := e.FaultsOf(4); n != 0 {
+		t.Errorf("machine-lost requeue charged %d faults; it must not spend budget", n)
+	}
+	if !equalStrings(seen, []string{"requeue 4 (machine-lost)"}) {
+		t.Errorf("observer saw %v", seen)
+	}
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+
+	"muri/internal/sched"
+)
+
+// UnitKey canonically identifies a schedulable unit by its sharing mode
+// and member set: "mode:id,id,...", with member IDs sorted ascending so
+// the key is invariant to member order. The simulator and the daemon both
+// key their placement memory and desired-state diffing on it — a unit
+// whose key is unchanged across scheduling rounds is the same logical
+// unit (same jobs, same sharing discipline) and keeps running without a
+// restart; any change in composition or mode produces a new key and
+// forces a relaunch.
+func UnitKey(u sched.Unit) string {
+	ids := make([]int64, len(u.Jobs))
+	for i, j := range u.Jobs {
+		ids[i] = int64(j.ID)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	mode := u.Mode.String()
+	buf := make([]byte, 0, len(mode)+1+8*len(ids))
+	buf = append(buf, mode...)
+	buf = append(buf, ':')
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, id, 10)
+	}
+	return string(buf)
+}

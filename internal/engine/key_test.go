@@ -1,0 +1,65 @@
+package engine_test
+
+import (
+	"testing"
+
+	"muri/internal/engine"
+	"muri/internal/job"
+	"muri/internal/sched"
+	"muri/internal/workload"
+)
+
+func unitOf(t *testing.T, mode sched.Mode, gpus int, ids ...int64) sched.Unit {
+	t.Helper()
+	m, err := workload.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*job.Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = job.New(job.ID(id), m, 1, 100, 0)
+	}
+	return sched.Unit{Jobs: jobs, GPUs: gpus, Mode: mode}
+}
+
+func TestUnitKeyFormat(t *testing.T) {
+	got := engine.UnitKey(unitOf(t, sched.Interleaved, 2, 1, 2))
+	if got != "interleaved:1,2" {
+		t.Errorf("key = %q, want interleaved:1,2", got)
+	}
+	got = engine.UnitKey(unitOf(t, sched.Exclusive, 4, 7))
+	if got != "exclusive:7" {
+		t.Errorf("key = %q, want exclusive:7", got)
+	}
+}
+
+func TestUnitKeyMemberOrderInvariant(t *testing.T) {
+	a := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 3, 1, 2))
+	b := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 1, 2, 3))
+	c := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 2, 3, 1))
+	if a != b || b != c {
+		t.Errorf("keys differ across member orders: %q %q %q", a, b, c)
+	}
+	if a != "interleaved:1,2,3" {
+		t.Errorf("key = %q, want interleaved:1,2,3", a)
+	}
+}
+
+func TestUnitKeyDisambiguates(t *testing.T) {
+	interleaved := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 1, 2))
+	spaceShared := engine.UnitKey(unitOf(t, sched.SpaceShared, 1, 1, 2))
+	if interleaved == spaceShared {
+		t.Errorf("mode change did not change the key: %q", interleaved)
+	}
+	pair := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 1, 2))
+	trio := engine.UnitKey(unitOf(t, sched.Interleaved, 1, 1, 2, 3))
+	if pair == trio {
+		t.Errorf("member change did not change the key: %q", pair)
+	}
+	// Multi-digit IDs must not collide with concatenations of smaller
+	// ones ("1,2" vs "12") — the comma separator guarantees it.
+	onetwo := engine.UnitKey(unitOf(t, sched.Exclusive, 1, 12))
+	if onetwo == pair || onetwo != "exclusive:12" {
+		t.Errorf("key = %q, want exclusive:12 distinct from %q", onetwo, pair)
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+// Phase is one state of the job lifecycle state machine the engine owns:
+//
+//	profiling ──► pending ──► running ──► done
+//	                 ▲  │         │
+//	                 │  │         ├──► pending   (preemption / requeue)
+//	                 │  └──► deadletter ◄┘       (retry budget exhausted)
+//	                 │
+//	              (requeue after fault, with backoff)
+//
+// The string values are the daemon's wire states, so a Phase can be put
+// on the status API unchanged.
+type Phase string
+
+const (
+	// PhaseProfiling jobs wait for a dry-run profile of their model.
+	PhaseProfiling Phase = "profiling"
+	// PhasePending jobs sit in the scheduler queue.
+	PhasePending Phase = "pending"
+	// PhaseRunning jobs hold resources.
+	PhaseRunning Phase = "running"
+	// PhaseDone jobs completed every iteration. Terminal.
+	PhaseDone Phase = "done"
+	// PhaseDeadletter jobs exhausted their fault-retry budget and are
+	// parked. A straggling completion report may still finish them.
+	PhaseDeadletter Phase = "deadletter"
+)
+
+// CanTransition reports whether the lifecycle permits moving from p to
+// to. The table encodes the daemon's historical guards: a completion may
+// arrive for a job that was already requeued (pending → done) or parked
+// (deadletter → done), a fault may strike a job whose group was killed
+// moments before (pending → pending requeue, pending → deadletter), and
+// done is terminal.
+func (p Phase) CanTransition(to Phase) bool {
+	switch p {
+	case PhaseProfiling:
+		return to == PhasePending
+	case PhasePending:
+		return to == PhasePending || to == PhaseRunning || to == PhaseDone || to == PhaseDeadletter
+	case PhaseRunning:
+		return to == PhasePending || to == PhaseDone || to == PhaseDeadletter
+	case PhaseDeadletter:
+		return to == PhaseDone
+	default: // PhaseDone and untracked
+		return false
+	}
+}

@@ -1,0 +1,40 @@
+package engine
+
+import "time"
+
+// RetryPolicy governs how faulted jobs are retried: an exponential
+// backoff between requeues and a bounded fault budget after which a job
+// is dead-lettered instead of retried.
+type RetryPolicy struct {
+	// BackoffBase is the requeue delay after a job's first fault; each
+	// subsequent fault doubles it up to BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Budget is how many faults a job may accumulate before it is parked
+	// in the dead-letter state instead of requeued. Negative means
+	// unlimited retries (the simulator's failure model never parks jobs).
+	Budget int
+}
+
+// Backoff returns the requeue delay for a job's attempt-th fault: the
+// base doubled per fault up to the cap, plus up to 25% jitter derived
+// deterministically from (job, attempt) so retry storms decorrelate
+// without nondeterministic tests.
+func (r RetryPolicy) Backoff(jobID int64, attempt int) time.Duration {
+	d := r.BackoffBase
+	for i := 1; i < attempt && d < r.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > r.BackoffMax {
+		d = r.BackoffMax
+	}
+	h := uint64(jobID)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return d + time.Duration(float64(d)*0.25*float64(h%1024)/1024)
+}
+
+// Exhausted reports whether faults many recorded faults exceed the
+// budget.
+func (r RetryPolicy) Exhausted(faults int) bool {
+	return r.Budget >= 0 && faults > r.Budget
+}

@@ -599,13 +599,14 @@ func (o Options) Figure14() ([]Figure14Result, Table) {
 
 // ScaleResult is one end-to-end scale run's outcome: the usual summary
 // plus wall-clock runtime and the scheduling-path performance counters
-// (completion-heap activity and Blossom matcher-pool reuse for this run
-// alone).
+// (engine decision activity, completion-heap activity, and Blossom
+// matcher-pool reuse for this run alone).
 type ScaleResult struct {
 	Trace   string
 	Jobs    int
 	Wall    time.Duration
 	Summary metrics.Summary
+	Engine  metrics.EngineStats
 	Heap    metrics.HeapStats
 	Pool    metrics.MatcherPoolStats
 }
@@ -619,7 +620,7 @@ func (o Options) Scale() ([]ScaleResult, Table) {
 	var out []ScaleResult
 	t := Table{
 		Title:  "Scheduling-path scale runs (Muri-L, event-driven)",
-		Header: []string{"trace", "jobs", "wall", "avg JCT", "makespan", "heap peak", "rebuilds", "fixes", "pool hit%"},
+		Header: []string{"trace", "jobs", "wall", "avg JCT", "makespan", "rounds", "launches", "preempts", "heap peak", "rebuilds", "fixes", "pool hit%"},
 	}
 	all := o.traces()
 	for _, idx := range []int{1, 3} { // trace2: 2,000 jobs; trace4: 5,755 jobs
@@ -636,6 +637,7 @@ func (o Options) Scale() ([]ScaleResult, Table) {
 			Jobs:    res.Summary.Jobs,
 			Wall:    wall,
 			Summary: res.Summary,
+			Engine:  res.Engine,
 			Heap:    res.Heap,
 			Pool:    metrics.MatcherPoolStats{Gets: after.Gets - before.Gets, News: after.News - before.News},
 		}
@@ -646,6 +648,9 @@ func (o Options) Scale() ([]ScaleResult, Table) {
 			wall.Round(time.Millisecond).String(),
 			r.Summary.AvgJCT.Round(time.Second).String(),
 			r.Summary.Makespan.Round(time.Second).String(),
+			strconv.Itoa(r.Engine.Rounds),
+			strconv.Itoa(r.Engine.Launches),
+			strconv.Itoa(r.Engine.Preemptions),
 			strconv.Itoa(r.Heap.Peak),
 			strconv.FormatUint(r.Heap.Rebuilds, 10),
 			strconv.FormatUint(r.Heap.Fixes, 10),

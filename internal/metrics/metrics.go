@@ -244,6 +244,31 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.WorkLost += o.WorkLost
 }
 
+// EngineStats counts the shared scheduling engine's activity (see
+// DESIGN.md §8): both the simulator and the daemon drive the same
+// decision core, and both surface these counters (sim.Result.Engine,
+// the daemon's status API).
+type EngineStats struct {
+	// Rounds counts Reconcile invocations (scheduling rounds).
+	Rounds int
+	// Decisions counts decisions issued across the run (launches, kills,
+	// requeues, deadletters).
+	Decisions int
+	// Launches counts units launched under a new key.
+	Launches int
+	// Preemptions counts units killed to reclaim capacity.
+	Preemptions int
+	// Requeues counts jobs pushed back to the queue (faults, lost
+	// machines).
+	Requeues int
+	// DeadLettered counts jobs parked after exhausting their retry
+	// budget.
+	DeadLettered int
+	// QueueDepth is the number of candidates left unplaced after the
+	// most recent round (a gauge, not a counter).
+	QueueDepth int
+}
+
 // HeapStats describes the simulator's completion-estimate min-heap (the
 // event-driven clock; see DESIGN.md §6).
 type HeapStats struct {

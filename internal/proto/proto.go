@@ -175,8 +175,23 @@ type StatusAck struct {
 	// DeadLetter counts jobs parked after exhausting their retry budget.
 	DeadLetter int            `json:"dead_letter,omitempty"`
 	Faults     *FaultSummary  `json:"faults,omitempty"`
+	Engine     *EngineSummary `json:"engine,omitempty"`
 	Jobs       []JobStatus    `json:"jobs,omitempty"`
 	Extra      map[string]any `json:"extra,omitempty"`
+}
+
+// EngineSummary mirrors the scheduling engine's counters on the wire
+// (kept separate from internal metrics types so proto stays
+// dependency-free): rounds run, decisions issued, and the current queue
+// depth, as surfaced by `murictl status`.
+type EngineSummary struct {
+	Rounds       int `json:"rounds"`
+	Decisions    int `json:"decisions"`
+	Launches     int `json:"launches"`
+	Preemptions  int `json:"preemptions,omitempty"`
+	Requeues     int `json:"requeues,omitempty"`
+	DeadLettered int `json:"dead_lettered,omitempty"`
+	QueueDepth   int `json:"queue_depth,omitempty"`
 }
 
 // FaultSummary mirrors the scheduler's fault counters on the wire (kept

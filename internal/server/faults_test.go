@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"muri/internal/engine"
+	"muri/internal/job"
 	"muri/internal/proto"
 )
 
@@ -158,8 +160,8 @@ func TestStopDrains(t *testing.T) {
 	}
 	h.srv.mu.Lock()
 	groups, done := len(h.srv.groups), 0
-	for _, js := range h.srv.jobs {
-		if js.state == "done" {
+	for id := range h.srv.jobs {
+		if h.srv.eng.PhaseOf(job.ID(id)) == engine.PhaseDone {
 			done++
 		}
 	}
@@ -181,7 +183,7 @@ func TestInjectFaultJob(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		h.srv.mu.Lock()
-		running := h.srv.jobs[id] != nil && h.srv.jobs[id].state == "running"
+		running := h.srv.jobs[id] != nil && h.srv.eng.PhaseOf(job.ID(id)) == engine.PhaseRunning
 		h.srv.mu.Unlock()
 		if running {
 			break

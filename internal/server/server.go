@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"muri/internal/engine"
 	"muri/internal/job"
 	"muri/internal/metrics"
 	"muri/internal/proto"
@@ -61,21 +62,30 @@ type Config struct {
 	// microsecond sleeps is dominated by timer overhead and would destroy
 	// the stage ratios the scheduler depends on.
 	ProfileTimeScale float64
+	// StarvationPatience is forwarded to the scheduling engine: how many
+	// rounds a unit may be bypassed for capacity before it is boosted to
+	// the front of the admission order. Zero uses the engine default.
+	StarvationPatience int
+	// Observer, when non-nil, receives every engine decision as it is
+	// issued (the parity harness taps the decision stream here).
+	Observer func(engine.Decision)
 	// Logf receives diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
 
-// jobState tracks one submitted job.
+// jobState tracks one submitted job's daemon-side bookkeeping. The
+// job's lifecycle phase and fault count live in the scheduling engine
+// (engine.PhaseOf / engine.FaultsOf); the daemon keeps only what the
+// engine has no business knowing: wire specs, wall-clock timestamps,
+// and the fault attribution log.
 type jobState struct {
 	spec    proto.JobSpec
 	job     *job.Job
-	state   string // "profiling", "pending", "running", "done", "deadletter"
 	groupID int64
 	// virtual bookkeeping
 	submittedAt time.Time
 	finishedAt  time.Time
 	lastSeen    time.Time
-	faults      int
 	// notBefore holds the job out of scheduling until the backoff after
 	// its last fault has elapsed.
 	notBefore time.Time
@@ -127,12 +137,18 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// eng is the shared scheduling decision core (internal/engine): job
+	// lifecycle phases, admission, preemption reconciliation, and the
+	// fault/retry state machine all live there. Driven under s.mu.
+	eng       *engine.Engine
 	executors map[string]*executorConn
 	jobs      map[int64]*jobState
 	groups    map[int64]*groupState
 	profiles  map[string][4]time.Duration
-	profiling map[string]bool
+	// profiling maps each model with an in-flight dry run to the executor
+	// serving it, so an eviction can release the request for a retry.
+	profiling map[string]string
 	nextJob   int64
 	nextGroup int64
 	started   time.Time
@@ -181,13 +197,25 @@ func New(cfg Config) *Server {
 	if cfg.FaultRetryBudget == 0 {
 		cfg.FaultRetryBudget = 8
 	}
+	eng := engine.New(engine.Config{
+		Policy:             cfg.Policy,
+		Style:              engine.Differential,
+		StarvationPatience: cfg.StarvationPatience,
+		Retry: engine.RetryPolicy{
+			BackoffBase: cfg.FaultBackoffBase,
+			BackoffMax:  cfg.FaultBackoffMax,
+			Budget:      cfg.FaultRetryBudget,
+		},
+		Observer: cfg.Observer,
+	})
 	return &Server{
 		cfg:          cfg,
+		eng:          eng,
 		executors:    make(map[string]*executorConn),
 		jobs:         make(map[int64]*jobState),
 		groups:       make(map[int64]*groupState),
 		profiles:     make(map[string][4]time.Duration),
-		profiling:    make(map[string]bool),
+		profiling:    make(map[string]string),
 		seenMachines: make(map[string]bool),
 		conns:        make(map[net.Conn]bool),
 		kick:         make(chan struct{}, 1),
@@ -405,14 +433,30 @@ func (s *Server) dropExecutor(e *executorConn) {
 	e.gone = true
 	delete(s.executors, e.id)
 	s.faults.Crashes++
-	requeued := 0
-	for gid, g := range s.groups {
-		if g.exec != e {
-			continue
+	// Release any profiling dry run the dead executor was serving, so the
+	// next scheduling round re-requests it from a healthy machine (a
+	// request stuck on a hung executor would otherwise block its model's
+	// jobs in the profiling phase forever).
+	for model, owner := range s.profiling {
+		if owner == e.id {
+			delete(s.profiling, model)
 		}
+	}
+	requeued := 0
+	// Walk the dead executor's groups in ascending group-ID order so the
+	// engine's requeue decision stream is deterministic.
+	gids := make([]int64, 0, len(s.groups))
+	for gid, g := range s.groups {
+		if g.exec == e {
+			gids = append(gids, gid)
+		}
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		g := s.groups[gid]
 		for _, jid := range g.jobs {
-			if js := s.jobs[jid]; js != nil && js.state == "running" {
-				js.state = "pending"
+			if js := s.jobs[jid]; js != nil && s.eng.PhaseOf(job.ID(jid)) == engine.PhaseRunning {
+				s.eng.Requeue(job.ID(jid), engine.ReasonMachineLost)
 				js.groupID = 0
 				js.faultLog = append(js.faultLog,
 					faultRecord{at: time.Now(), executor: e.id, err: "executor lost"})
@@ -489,17 +533,17 @@ func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 	spec.ID = s.nextJob
 	js := &jobState{spec: spec, submittedAt: time.Now(), lastSeen: time.Now()}
 	var stages [4]time.Duration
+	phase := engine.PhasePending
 	switch {
 	case spec.Stages != ([4]time.Duration{}):
 		stages = spec.Stages
-		js.state = "pending"
 	case s.profiles[spec.Model] != ([4]time.Duration{}):
 		stages = s.profiles[spec.Model]
-		js.state = "pending"
 	default:
-		js.state = "profiling"
+		phase = engine.PhaseProfiling
 		s.requestProfileLocked(spec.Model)
 	}
+	s.eng.Track(job.ID(spec.ID), phase)
 	js.spec.Stages = stages
 	var st workload.StageTimes
 	copy(st[:], stages[:])
@@ -515,11 +559,11 @@ func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 // requestProfileLocked asks any executor to dry-run the model. Callers
 // hold s.mu.
 func (s *Server) requestProfileLocked(model string) {
-	if s.profiling[model] {
+	if _, inflight := s.profiling[model]; inflight {
 		return
 	}
 	for _, e := range s.executors {
-		s.profiling[model] = true
+		s.profiling[model] = e.id
 		req := &proto.Message{Type: proto.TypeProfileReq, ProfileReq: &proto.ProfileReq{
 			Model: model, Iterations: s.cfg.ProfileIterations, TimeScale: s.cfg.ProfileTimeScale,
 		}}
@@ -550,12 +594,12 @@ func (s *Server) onProfiled(p *proto.Profiled) {
 	s.profiles[p.Model] = p.Stages
 	var st workload.StageTimes
 	copy(st[:], p.Stages[:])
-	for _, js := range s.jobs {
-		if js.state == "profiling" && js.spec.Model == p.Model {
+	for id, js := range s.jobs {
+		if s.eng.PhaseOf(job.ID(id)) == engine.PhaseProfiling && js.spec.Model == p.Model {
 			js.spec.Stages = p.Stages
 			js.job.Profile = st
 			js.job.TrueProfile = st
-			js.state = "pending"
+			s.eng.SetPhase(job.ID(id), engine.PhasePending)
 		}
 	}
 	s.kickSchedule()
@@ -572,14 +616,14 @@ func (s *Server) onProgress(p *proto.Progress) {
 	defer s.mu.Unlock()
 	for _, jp := range p.Jobs {
 		js := s.jobs[jp.ID]
-		if js == nil || js.state == "done" {
+		if js == nil || s.eng.PhaseOf(job.ID(jp.ID)) == engine.PhaseDone {
 			continue
 		}
 		if jp.DoneIterations > js.job.DoneIterations {
 			js.job.DoneIterations = jp.DoneIterations
 		}
 		now := time.Now()
-		if js.state == "running" {
+		if s.eng.PhaseOf(job.ID(jp.ID)) == engine.PhaseRunning {
 			wall := now.Sub(js.lastSeen)
 			js.job.Attained += time.Duration(float64(wall) / s.cfg.TimeScale)
 		}
@@ -592,10 +636,11 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	js := s.jobs[d.JobID]
-	if js == nil || js.state == "done" {
+	if js == nil || !s.eng.SetPhase(job.ID(d.JobID), engine.PhaseDone) {
+		// Unknown job, or the state machine rejected the transition (the
+		// job already completed); either way there is nothing to finalize.
 		return
 	}
-	js.state = "done"
 	js.finishedAt = time.Now()
 	js.job.DoneIterations = js.job.Iterations
 	js.job.State = job.Done
@@ -612,7 +657,7 @@ func (s *Server) onFault(f *proto.Fault, from string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	js := s.jobs[f.JobID]
-	if js == nil || js.state == "done" {
+	if js == nil || s.eng.PhaseOf(job.ID(f.JobID)) == engine.PhaseDone {
 		return
 	}
 	origin := f.Machine
@@ -624,44 +669,27 @@ func (s *Server) onFault(f *proto.Fault, from string) {
 	s.kickSchedule()
 }
 
-// recordJobFaultLocked applies one job-level fault: log it, spend retry
-// budget, and either requeue with backoff or dead-letter. The job's
-// progress is untouched — js.job.DoneIterations survives, so the next
-// launch resumes the remaining iterations. Callers hold s.mu.
+// recordJobFaultLocked applies one job-level fault: log its origin, then
+// let the engine spend retry budget and decide between requeue-with-
+// backoff and dead-letter. The job's progress is untouched —
+// js.job.DoneIterations survives, so the next launch resumes the
+// remaining iterations. Callers hold s.mu.
 func (s *Server) recordJobFaultLocked(js *jobState, origin, errMsg string) {
-	js.faults++
+	id := job.ID(js.spec.ID)
 	js.faultLog = append(js.faultLog, faultRecord{at: time.Now(), executor: origin, err: errMsg})
 	js.groupID = 0
 	s.faults.Transient++
-	if s.cfg.FaultRetryBudget >= 0 && js.faults > s.cfg.FaultRetryBudget {
-		js.state = "deadletter"
+	backoff, deadlettered := s.eng.RecordFault(id)
+	if deadlettered {
 		s.faults.DeadLettered++
 		s.logf("server: job %d dead-lettered after %d faults (last on %s: %s)",
-			js.spec.ID, js.faults, origin, errMsg)
+			js.spec.ID, s.eng.FaultsOf(id), origin, errMsg)
 		return
 	}
-	backoff := faultBackoff(s.cfg.FaultBackoffBase, s.cfg.FaultBackoffMax, js.spec.ID, js.faults)
-	js.state = "pending"
 	js.notBefore = time.Now().Add(backoff)
 	s.faults.Requeues++
 	s.logf("server: job %d faulted on %s (%s); fault %d, requeued with %v backoff, %d/%d iterations done",
-		js.spec.ID, origin, errMsg, js.faults, backoff, js.job.DoneIterations, js.job.Iterations)
-}
-
-// faultBackoff doubles a base delay per fault up to a cap, plus up to
-// 25% jitter derived deterministically from (job, attempt) so retry
-// storms decorrelate without nondeterministic tests.
-func faultBackoff(base, max time.Duration, jobID int64, attempt int) time.Duration {
-	d := base
-	for i := 1; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	h := uint64(jobID)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
-	h ^= h >> 29
-	return d + time.Duration(float64(d)*0.25*float64(h%1024)/1024)
+		js.spec.ID, origin, errMsg, s.eng.FaultsOf(id), backoff, js.job.DoneIterations, js.job.Iterations)
 }
 
 // detachFromGroupLocked removes a job from its group, freeing the
@@ -736,11 +764,12 @@ func (s *Server) scheduleLocked() {
 		return
 	}
 	// Retry profiling for jobs stuck without an executor earlier.
-	for _, js := range s.jobs {
-		if js.state == "profiling" && !s.profiling[js.spec.Model] {
+	for id, js := range s.jobs {
+		_, inflight := s.profiling[js.spec.Model]
+		if s.eng.PhaseOf(job.ID(id)) == engine.PhaseProfiling && !inflight {
 			if _, ok := s.profiles[js.spec.Model]; ok {
 				js.spec.Stages = s.profiles[js.spec.Model]
-				js.state = "pending"
+				s.eng.SetPhase(job.ID(id), engine.PhasePending)
 			} else {
 				s.requestProfileLocked(js.spec.Model)
 			}
@@ -753,66 +782,86 @@ func (s *Server) scheduleLocked() {
 	if capacity == 0 {
 		return
 	}
-	// Candidates: pending plus (for preemptive policies) running jobs.
-	// Jobs still in their post-fault backoff window sit out this round.
+	// Candidates: pending plus (for preemptive policies) running jobs, in
+	// ascending job-ID order so the engine's decision stream is
+	// deterministic. Jobs still in their post-fault backoff window sit
+	// out this round.
+	ids := make([]int64, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var candidates []*job.Job
-	byID := make(map[job.ID]*jobState)
-	for _, js := range s.jobs {
-		if js.state == "pending" && wallNow.Before(js.notBefore) {
+	for _, id := range ids {
+		js := s.jobs[id]
+		ph := s.eng.PhaseOf(job.ID(id))
+		if ph == engine.PhasePending && wallNow.Before(js.notBefore) {
 			continue
 		}
-		if js.state == "pending" || (s.cfg.Policy.Preemptive() && js.state == "running") {
+		if ph == engine.PhasePending || (s.cfg.Policy.Preemptive() && ph == engine.PhaseRunning) {
 			candidates = append(candidates, js.job)
-			byID[js.job.ID] = js
 		}
 	}
 	if len(candidates) == 0 {
 		return
 	}
-	now := s.virtualNowLocked()
-	units := s.cfg.Policy.Plan(now, candidates, capacity)
-
-	// Decide which running groups survive (same member set) and which
-	// get killed to make room.
-	desired := make(map[string]sched.Unit)
-	for _, u := range units {
-		desired[unitKey(u)] = u
+	// Current groups, in ascending group-ID order (again: determinism of
+	// the kill stream). The engine re-derives each unit's key from the
+	// spec; the handle is the group ID, passed back verbatim on kills.
+	gids := make([]int64, 0, len(s.groups))
+	for gid := range s.groups {
+		gids = append(gids, gid)
 	}
-	if s.cfg.Policy.Preemptive() {
-		for gid, g := range s.groups {
-			if _, keep := desired[g.key]; keep {
-				continue
-			}
-			s.killGroupLocked(gid)
-		}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	current := make([]engine.Current, 0, len(gids))
+	for _, gid := range gids {
+		current = append(current, engine.Current{Spec: s.groups[gid].spec, Handle: gid})
 	}
-	running := make(map[string]bool)
-	for _, g := range s.groups {
-		running[g.key] = true
-	}
-	// Launch new units greedily in plan order onto executors with room.
-	for _, u := range units {
-		key := unitKey(u)
-		if running[key] {
-			continue
-		}
-		busy := false
-		for _, j := range u.Jobs {
-			if byID[j.ID] == nil || byID[j.ID].state == "running" || byID[j.ID].state == "done" {
-				busy = true
-				break
-			}
-		}
-		if busy {
-			continue
-		}
-		exec := s.pickExecutorLocked(u.GPUs)
-		if exec == nil {
-			continue
-		}
-		s.launchLocked(exec, u, key)
-	}
+	// One engine round: plan, admit (with anti-starvation), reconcile
+	// preemptions (kills run through killGroupLocked so capacity frees
+	// before placement), and place via the executor best-fit placer (the
+	// Launch RPCs happen inside Place).
+	s.eng.Reconcile(engine.Input{
+		Now:        s.virtualNowLocked(),
+		Candidates: candidates,
+		Capacity:   capacity,
+		Current:    current,
+		Placer:     &serverPlacer{s: s},
+		Kill:       func(c engine.Current) { s.killGroupLocked(c.Handle.(int64)) },
+	})
 }
+
+// serverPlacer adapts the daemon's executor pool to the engine's Placer
+// interface: free capacity is the sum over registered executors, and
+// placing a unit best-fits it onto one executor and sends the Launch
+// RPC. Methods are called with s.mu held (Reconcile runs under it).
+type serverPlacer struct {
+	s *Server
+}
+
+func (p *serverPlacer) Free() int {
+	free := 0
+	for _, e := range p.s.executors {
+		free += e.free
+	}
+	return free
+}
+
+func (p *serverPlacer) Place(key string, u sched.Unit) (any, bool) {
+	exec := p.s.pickExecutorLocked(u.GPUs)
+	if exec == nil {
+		return nil, false
+	}
+	gid, ok := p.s.launchLocked(exec, u, key)
+	if !ok {
+		return nil, false
+	}
+	return gid, true
+}
+
+// Reset is never called under the Differential style; the daemon cannot
+// release real processes wholesale.
+func (p *serverPlacer) Reset() {}
 
 // pickExecutorLocked returns the executor with the least sufficient free
 // GPUs (best fit). Callers hold s.mu.
@@ -832,8 +881,11 @@ func (s *Server) pickExecutorLocked(gpus int) *executorConn {
 	return best
 }
 
-// launchLocked sends a Launch for unit u to exec. Callers hold s.mu.
-func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) {
+// launchLocked sends a Launch for unit u to exec and returns the new
+// group's ID. ok=false means the send failed and nothing was recorded
+// (the engine skips the unit this round). The members' phase flip to
+// running happens in the engine after Place succeeds. Callers hold s.mu.
+func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) (int64, bool) {
 	s.nextGroup++
 	gid := s.nextGroup
 	specs := make([]proto.JobSpec, len(u.Jobs))
@@ -854,20 +906,20 @@ func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) {
 	}}
 	if err := exec.send(msg); err != nil {
 		s.logf("server: launch to %s failed: %v", exec.id, err)
-		return
+		return 0, false
 	}
 	exec.free -= u.GPUs
 	g := &groupState{id: gid, key: key, exec: exec, gpus: u.GPUs, jobs: ids, spec: u, since: time.Now()}
 	s.groups[gid] = g
 	for _, id := range ids {
 		js := s.jobs[id]
-		js.state = "running"
 		js.groupID = gid
 		js.lastSeen = time.Now()
 		if js.job.StartedAt < 0 {
 			js.job.StartedAt = s.virtualNowLocked()
 		}
 	}
+	return gid, true
 }
 
 // killGroupLocked preempts a group: members go back to pending with
@@ -879,8 +931,8 @@ func (s *Server) killGroupLocked(gid int64) {
 	}
 	_ = g.exec.send(&proto.Message{Type: proto.TypeKill, Kill: &proto.Kill{GroupID: gid}})
 	for _, id := range g.jobs {
-		if js := s.jobs[id]; js != nil && js.state == "running" {
-			js.state = "pending"
+		if js := s.jobs[id]; js != nil && s.eng.PhaseOf(job.ID(id)) == engine.PhaseRunning {
+			s.eng.SetPhase(job.ID(id), engine.PhasePending)
 			js.groupID = 0
 			js.job.Restarts++
 		}
@@ -914,8 +966,8 @@ func (s *Server) injectFault(req *proto.InjectFault) error {
 	if js == nil {
 		return fmt.Errorf("server: unknown job %d", req.JobID)
 	}
-	if js.state != "running" {
-		return fmt.Errorf("server: job %d is %s, not running", req.JobID, js.state)
+	if ph := s.eng.PhaseOf(job.ID(req.JobID)); ph != engine.PhaseRunning {
+		return fmt.Errorf("server: job %d is %s, not running", req.JobID, ph)
 	}
 	origin := ""
 	if g := s.groups[js.groupID]; g != nil {
@@ -928,16 +980,6 @@ func (s *Server) injectFault(req *proto.InjectFault) error {
 	s.recordJobFaultLocked(js, origin, "injected fault")
 	s.kickSchedule()
 	return nil
-}
-
-// unitKey canonically identifies a unit by its member set.
-func unitKey(u sched.Unit) string {
-	ids := make([]int, len(u.Jobs))
-	for i, j := range u.Jobs {
-		ids[i] = int(j.ID)
-	}
-	sort.Ints(ids)
-	return fmt.Sprint(u.Mode.String(), ids)
 }
 
 // status snapshots the scheduler state for clients.
@@ -954,25 +996,26 @@ func (s *Server) status() proto.StatusAck {
 	var jctSum, jctMax time.Duration
 	for _, id := range ids {
 		js := s.jobs[id]
+		phase := s.eng.PhaseOf(job.ID(id))
 		st := proto.JobStatus{
 			ID:             id,
 			Model:          js.spec.Model,
-			State:          js.state,
+			State:          string(phase),
 			DoneIterations: js.job.DoneIterations,
 			Iterations:     js.spec.Iterations,
-			Faults:         js.faults,
+			Faults:         s.eng.FaultsOf(job.ID(id)),
 		}
 		if n := len(js.faultLog); n > 0 {
 			st.FaultExecutor = js.faultLog[n-1].executor
 		}
-		switch js.state {
-		case "pending", "profiling":
+		switch phase {
+		case engine.PhasePending, engine.PhaseProfiling:
 			ack.Pending++
-		case "running":
+		case engine.PhaseRunning:
 			ack.Running++
-		case "deadletter":
+		case engine.PhaseDeadletter:
 			ack.DeadLetter++
-		case "done":
+		case engine.PhaseDone:
 			ack.Done++
 			st.JCT = time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
 			jctSum += st.JCT
@@ -990,6 +1033,16 @@ func (s *Server) status() proto.StatusAck {
 			Requeues:     s.faults.Requeues,
 			DeadLettered: s.faults.DeadLettered,
 		}
+	}
+	es := s.eng.Stats()
+	ack.Engine = &proto.EngineSummary{
+		Rounds:       es.Rounds,
+		Decisions:    es.Decisions,
+		Launches:     es.Launches,
+		Preemptions:  es.Preemptions,
+		Requeues:     es.Requeues,
+		DeadLettered: es.DeadLettered,
+		QueueDepth:   es.QueueDepth,
 	}
 	if ack.Done > 0 {
 		ack.Extra = map[string]any{

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"muri/internal/engine"
 	"muri/internal/executor"
 	"muri/internal/proto"
 	"muri/internal/sched"
@@ -207,7 +208,7 @@ func TestFaultRequeuesAndCompletes(t *testing.T) {
 		t.Error("fault was never injected")
 	}
 	h.srv.mu.Lock()
-	faults := h.srv.jobs[1].faults
+	faults := h.srv.eng.FaultsOf(1)
 	h.srv.mu.Unlock()
 	if faults != 1 {
 		t.Errorf("recorded faults = %d, want 1", faults)
@@ -239,9 +240,9 @@ func TestProfilingOnFirstSubmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.srv.mu.Lock()
-	state := h.srv.jobs[2].state
+	state := h.srv.eng.PhaseOf(2)
 	h.srv.mu.Unlock()
-	if state == "profiling" {
+	if state == engine.PhaseProfiling {
 		t.Error("second submission re-profiled instead of reusing the cache")
 	}
 	if _, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond); err != nil {

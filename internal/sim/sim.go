@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"muri/internal/cluster"
+	"muri/internal/engine"
 	"muri/internal/faults"
 	"muri/internal/interleave"
 	"muri/internal/job"
@@ -67,6 +68,10 @@ type Config struct {
 	// members back to the queue. A nil or empty plan leaves the
 	// simulation bit-identical to a build without the failure model.
 	Faults *faults.Plan
+	// Observer, when non-nil, receives every decision of the shared
+	// scheduling engine as it is issued (the parity harness compares
+	// this stream against the live daemon's).
+	Observer func(engine.Decision)
 	// Debug, when non-nil, receives a one-line summary of every
 	// scheduling decision (useful for diagnosing placement behaviour).
 	Debug io.Writer
@@ -102,6 +107,8 @@ type Result struct {
 	Heap metrics.HeapStats
 	// Faults reports failure-plan activity; all zero without a plan.
 	Faults metrics.FaultStats
+	// Engine reports the shared scheduling engine's decision counters.
+	Engine metrics.EngineStats
 }
 
 // Event is one job-lifecycle event in a run's timeline.
@@ -184,27 +191,6 @@ func (u *unit) earliest(now time.Duration) (time.Duration, bool) {
 	return u.estAt, u.estAt >= 0
 }
 
-// key identifies a unit by its member set, so the simulator can detect
-// composition changes across intervals (which force restarts).
-func unitKey(u sched.Unit) string {
-	ids := make([]int64, len(u.Jobs))
-	for i, j := range u.Jobs {
-		ids[i] = int64(j.ID)
-	}
-	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
-	mode := u.Mode.String()
-	buf := make([]byte, 0, len(mode)+1+8*len(ids))
-	buf = append(buf, mode...)
-	buf = append(buf, ':')
-	for i, id := range ids {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		buf = strconv.AppendInt(buf, id, 10)
-	}
-	return string(buf)
-}
-
 // memberIterTimes computes each member's effective iteration time under
 // the unit's sharing mode.
 func memberIterTimes(u sched.Unit, cfg interleave.Config) []time.Duration {
@@ -245,6 +231,11 @@ type sim struct {
 	cfg     Config
 	cluster *cluster.Cluster
 	policy  sched.Policy
+	// eng is the shared scheduling decision core: policy invocation,
+	// admission, anti-starvation, placement memory, and the decision
+	// stream all live there; the simulator only executes the outcome
+	// against virtual time.
+	eng *engine.Engine
 
 	now     time.Duration
 	pending []*job.Job // submitted, not running
@@ -256,11 +247,7 @@ type sim struct {
 	series      metrics.Series
 	nextSample  time.Duration
 	preemptions int
-	prevKeys    map[job.ID]string
-	// bypassed counts consecutive scheduling rounds in which a job's unit
-	// was skipped for capacity while a lower-priority unit was admitted.
-	bypassed map[job.ID]int
-	timeline []Event
+	timeline    []Event
 	// heap indexes running units by earliest completion for the
 	// event-driven clock; unused (never built) on fixed-interval runs.
 	heap completionHeap
@@ -316,11 +303,18 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		cfg.StarvationPatience = 5
 	}
 	s := &sim{
-		cfg:      cfg,
-		cluster:  cluster.New(cfg.Machines, cfg.GPUsPerMachine),
-		policy:   policy,
-		prevKeys: make(map[job.ID]string),
-		bypassed: make(map[job.ID]int),
+		cfg:     cfg,
+		cluster: cluster.New(cfg.Machines, cfg.GPUsPerMachine),
+		policy:  policy,
+		eng: engine.New(engine.Config{
+			Policy:             policy,
+			Style:              engine.ReplaceAll,
+			StarvationPatience: cfg.StarvationPatience,
+			// The simulator's failure model retries from checkpoint
+			// indefinitely: no backoff, no dead-letter budget.
+			Retry:    engine.RetryPolicy{Budget: -1},
+			Observer: cfg.Observer,
+		}),
 	}
 	if !cfg.Faults.Empty() {
 		s.plan = cfg.Faults
@@ -337,6 +331,7 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		Timeline:    s.timeline,
 		Heap:        s.heap.snapshot(),
 		Faults:      s.fstats,
+		Engine:      s.eng.Stats(),
 	}
 }
 
@@ -500,7 +495,7 @@ func (s *sim) crashMachine(e faults.MachineEvent) {
 			continue
 		}
 		s.cluster.Release(u.alloc)
-		key := unitKey(u.spec)
+		key := engine.UnitKey(u.spec)
 		for i, j := range u.spec.Jobs {
 			if j.State == job.Done {
 				continue
@@ -509,9 +504,10 @@ func (s *sim) crashMachine(e faults.MachineEvent) {
 			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
 			s.recordAt(e.Time, "fault", j.ID, key)
 			j.State = job.Pending
-			// Forget the placement so the next admission charges a full
-			// checkpoint restart even if the unit reforms identically.
-			delete(s.prevKeys, j.ID)
+			// The engine forgets the placement, so the next admission
+			// charges a full checkpoint restart even if the unit reforms
+			// identically.
+			s.eng.Requeue(j.ID, engine.ReasonMachineLost)
 			s.pending = append(s.pending, j)
 		}
 	}
@@ -547,9 +543,9 @@ func (s *sim) failJob(f jobFault) {
 			s.fstats.Transient++
 			s.fstats.Requeues++
 			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
-			s.recordAt(f.at, "fault", j.ID, unitKey(u.spec))
+			s.recordAt(f.at, "fault", j.ID, engine.UnitKey(u.spec))
 			j.State = job.Pending
-			delete(s.prevKeys, j.ID)
+			s.eng.RecordFault(j.ID)
 			s.pending = append(s.pending, j)
 			s.removeMember(u, i)
 			return
@@ -604,7 +600,24 @@ func (s *sim) admitArrivals() {
 	}
 }
 
-// schedule invokes the policy and (re)places units.
+// simPlacer adapts the modeled cluster to the engine's Placer
+// interface: placement is a GPU allocation, and preemptive rounds reset
+// the whole cluster (machine down-state survives a Reset).
+type simPlacer struct{ c *cluster.Cluster }
+
+func (p simPlacer) Free() int { return p.c.FreeGPUs() }
+func (p simPlacer) Reset()    { p.c.Reset() }
+func (p simPlacer) Place(_ string, u sched.Unit) (any, bool) {
+	alloc, ok := p.c.Allocate(u.GPUs)
+	if !ok {
+		return nil, false
+	}
+	return alloc, true
+}
+
+// schedule runs one engine round and executes its outcome: placed units
+// become live simulation state (iteration times, straggler slowdowns,
+// carry restoration, restart overhead, transient-fault draws).
 func (s *sim) schedule() {
 	var candidates []*job.Job
 	if s.policy.Preemptive() {
@@ -624,8 +637,6 @@ func (s *sim) schedule() {
 	if s.plan != nil && capacity == 0 {
 		return
 	}
-	units := s.policy.Plan(s.now, candidates, capacity)
-
 	// Remember per-job fractional progress so continuing jobs lose no
 	// partial iterations across intervals.
 	oldCarry := make(map[job.ID]float64)
@@ -634,102 +645,39 @@ func (s *sim) schedule() {
 			oldCarry[j.ID] = u.carry[i]
 		}
 	}
-	if s.policy.Preemptive() {
-		s.cluster.Reset()
-		s.running = nil
+	current := make([]engine.Current, len(s.running))
+	for i, u := range s.running {
+		current[i] = engine.Current{Spec: u.spec, Handle: u}
 	}
+	out := s.eng.Reconcile(engine.Input{
+		Now:        s.now,
+		Candidates: candidates,
+		Pending:    s.pending,
+		Capacity:   capacity,
+		Current:    current,
+		Placer:     simPlacer{s.cluster},
+	})
 	var placed []*unit
-	placedJobs := make(map[job.ID]bool)
-	for _, u := range s.running { // non-preemptive: keep current units
-		for _, j := range u.spec.Jobs {
-			placedJobs[j.ID] = true
-		}
-		placed = append(placed, u)
+	if s.policy.Preemptive() {
+		// ReplaceAll re-placed everything; the engine's placements are
+		// the entire new running set.
+		s.running = nil
+	} else {
+		placed = append(placed, s.running...) // keep current units
 	}
-	// Anti-starvation: units whose members have been bypassed too many
-	// rounds jump to the front of the admission order (stable within each
-	// class), so a large multi-GPU unit cannot be blocked forever by a
-	// stream of small higher-priority units.
-	starving := func(spec sched.Unit) bool {
-		for _, j := range spec.Jobs {
-			if s.bypassed[j.ID] >= s.cfg.StarvationPatience {
-				return true
-			}
-		}
-		return false
-	}
-	orderedUnits := make([]sched.Unit, 0, len(units))
-	for _, spec := range units {
-		if starving(spec) {
-			orderedUnits = append(orderedUnits, spec)
-		}
-	}
-	for _, spec := range units {
-		if !starving(spec) {
-			orderedUnits = append(orderedUnits, spec)
-		}
-	}
-	// Admission: walk in priority order, admitting units that fit in the
-	// remaining capacity. Units skipped for capacity while a later unit
-	// is admitted accumulate a bypass count.
-	free := s.cluster.FreeGPUs()
-	var admitted []sched.Unit
-	var skipped []sched.Unit
-	bumped := make(map[job.ID]bool)
-	claimed := make(map[job.ID]bool)
-	for id := range placedJobs {
-		claimed[id] = true
-	}
-	for _, spec := range orderedUnits {
-		conflict := false
-		for _, j := range spec.Jobs {
-			if claimed[j.ID] {
-				conflict = true
-				break
-			}
-		}
-		if conflict {
-			continue
-		}
-		if spec.GPUs > free {
-			skipped = append(skipped, spec)
-			continue
-		}
-		free -= spec.GPUs
-		admitted = append(admitted, spec)
-		for _, j := range spec.Jobs {
-			claimed[j.ID] = true
-		}
-		for _, sk := range skipped {
-			for _, j := range sk.Jobs {
-				if !bumped[j.ID] {
-					bumped[j.ID] = true
-					s.bypassed[j.ID]++
-				}
-			}
-		}
-		skipped = skipped[:0]
-	}
-	// Allocation: place admitted units in descending GPU order so large
-	// units claim whole machines before small units fragment them (§5).
-	sort.SliceStable(admitted, func(i, k int) bool { return admitted[i].GPUs > admitted[k].GPUs })
-	for _, spec := range admitted {
-		alloc, ok := s.cluster.Allocate(spec.GPUs)
-		if !ok {
-			continue // fragmentation despite descending order; rare
-		}
+	for _, p := range out.Placements {
 		u := &unit{
-			spec:     spec,
-			alloc:    alloc,
+			spec:     p.Spec,
+			alloc:    p.Handle.(cluster.Alloc),
 			readyAt:  s.now,
-			iterTime: memberIterTimes(spec, s.cfg.Interleave),
-			carry:    make([]float64, len(spec.Jobs)),
+			iterTime: memberIterTimes(p.Spec, s.cfg.Interleave),
+			carry:    make([]float64, len(p.Spec.Jobs)),
 		}
 		if s.plan != nil {
 			// A unit runs at the pace of its slowest machine: distributed
 			// workers synchronize every iteration, so one straggler drags
 			// the whole allocation.
-			for _, m := range alloc.Machines() {
+			for _, m := range u.alloc.Machines() {
 				if f := s.plan.SlowdownFor(m); f > u.slow {
 					u.slow = f
 				}
@@ -740,27 +688,23 @@ func (s *sim) schedule() {
 				}
 			}
 		}
-		key := unitKey(spec)
-		for i, j := range spec.Jobs {
-			if s.prevKeys[j.ID] == key {
-				u.carry[i] = oldCarry[j.ID]
+		for i, m := range p.Members {
+			if m.Continues {
+				u.carry[i] = oldCarry[m.Job.ID]
 			}
 		}
-		restart := false
-		for _, j := range spec.Jobs {
-			prev, wasRunning := s.prevKeys[j.ID]
-			if j.StartedAt < 0 {
-				j.StartedAt = s.now
-				s.record("start", j.ID, key)
-			} else if !wasRunning || prev != key {
+		for _, m := range p.Members {
+			if m.Fresh {
+				m.Job.StartedAt = s.now
+				s.record("start", m.Job.ID, p.Key)
+			} else if m.Restart {
 				// Either the job resumes after preemption or its unit's
 				// composition changed — both restart the worker process.
-				restart = true
-				j.Restarts++
-				s.record("restart", j.ID, key)
+				m.Job.Restarts++
+				s.record("restart", m.Job.ID, p.Key)
 			}
 		}
-		if restart && s.cfg.RestartOverhead > 0 {
+		if p.Restart && s.cfg.RestartOverhead > 0 {
 			u.readyAt = s.now + s.cfg.RestartOverhead
 			s.preemptions++
 		}
@@ -770,7 +714,7 @@ func (s *sim) schedule() {
 			// re-place running jobs every interval. The fault, if drawn,
 			// strikes at a hash-chosen fraction of the attempt's estimated
 			// remaining work.
-			for i, j := range spec.Jobs {
+			for i, j := range p.Spec.Jobs {
 				attempt := j.Restarts
 				if prev, ok := s.drawn[j.ID]; ok && prev >= attempt {
 					continue
@@ -791,10 +735,6 @@ func (s *sim) schedule() {
 				s.jobFaults = append(s.jobFaults, jobFault{at: at, job: j.ID, attempt: attempt})
 			}
 		}
-		for _, j := range spec.Jobs {
-			j.State = job.Running
-			placedJobs[j.ID] = true
-		}
 		placed = append(placed, u)
 	}
 	// The heap must re-index when the running set's membership changes.
@@ -814,41 +754,9 @@ func (s *sim) schedule() {
 		s.heap.markStale()
 	}
 	s.running = placed
-	// Rebuild the pending queue and the placement memory.
-	s.prevKeys = make(map[job.ID]string, len(placedJobs))
-	var newPending []*job.Job
-	for _, j := range s.pending {
-		if !placedJobs[j.ID] {
-			j.State = job.Pending
-			newPending = append(newPending, j)
-		}
-	}
-	if s.policy.Preemptive() {
-		// Preempted-but-not-replaced jobs rejoin the queue.
-		seen := make(map[job.ID]bool)
-		for _, j := range newPending {
-			seen[j.ID] = true
-		}
-		for _, j := range candidates {
-			if !placedJobs[j.ID] && !seen[j.ID] && j.State != job.Done {
-				j.State = job.Pending
-				newPending = append(newPending, j)
-				seen[j.ID] = true
-			}
-		}
-		sort.SliceStable(newPending, func(i, k int) bool {
-			return newPending[i].Submit < newPending[k].Submit
-		})
-	}
-	s.pending = newPending
-	for _, u := range s.running {
-		key := unitKey(u.spec)
-		for _, j := range u.spec.Jobs {
-			s.prevKeys[j.ID] = key
-			delete(s.bypassed, j.ID) // running resets starvation credit
-		}
-	}
+	s.pending = out.Pending
 	if s.cfg.Debug != nil {
+		units := out.Planned
 		demand := 0
 		for _, j := range candidates {
 			demand += j.GPUs
