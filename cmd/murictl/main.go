@@ -7,6 +7,7 @@
 //	murictl -scheduler localhost:7800 wait -timeout 10m
 //	murictl -scheduler localhost:7800 fault -job 3
 //	murictl -scheduler localhost:7800 fault -machine machine-0
+//	murictl -scheduler localhost:7800 trace -o trace.json
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | models")
+		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | trace | models")
 		os.Exit(2)
 	}
 	if args[0] == "models" {
@@ -105,6 +106,24 @@ func main() {
 		} else {
 			fmt.Printf("injected crash on machine %s\n", *machine)
 		}
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		out := fs.String("o", "", "write the trace JSON here (default stdout)")
+		_ = fs.Parse(args[1:])
+		data, err := c.TraceSnapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes); open in https://ui.perfetto.dev\n", *out, len(data))
 	case "wait":
 		fs := flag.NewFlagSet("wait", flag.ExitOnError)
 		timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait")

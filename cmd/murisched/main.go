@@ -4,17 +4,22 @@
 // Usage:
 //
 //	murisched -addr :7800 -policy muri-l -interval 6m -timescale 0.001
+//
+// -debug-addr serves the observability surface over HTTP: /metrics
+// (Prometheus text), /debug/vars (expvar), and /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"muri/internal/sched"
 	"muri/internal/server"
+	"muri/internal/telemetry"
 )
 
 func policyByName(name string) (sched.Policy, error) {
@@ -47,10 +52,17 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "scheduling interval (wall time)")
 		timeScale = flag.Float64("timescale", 0.001, "virtual-to-wall time scale forwarded to executors")
 		report    = flag.Duration("report", 200*time.Millisecond, "executor progress-report period")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		logLevel  = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 	)
 	flag.Parse()
 
 	p, err := policyByName(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "murisched: %v\n", err)
+		os.Exit(2)
+	}
+	level, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "murisched: %v\n", err)
 		os.Exit(2)
@@ -60,7 +72,16 @@ func main() {
 		Interval:    *interval,
 		TimeScale:   *timeScale,
 		ReportEvery: *report,
+		LogLevel:    level,
 	})
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("murisched: debug endpoints on http://%s/metrics", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, srv.DebugHandler()); err != nil {
+				log.Fatalf("murisched: debug server: %v", err)
+			}
+		}()
+	}
 	log.Printf("murisched: %s policy, listening on %s", p.Name(), *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("murisched: %v", err)

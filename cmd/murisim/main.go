@@ -25,9 +25,20 @@
 // -cpuprofile and -memprofile write pprof profiles of the run (inspect
 // with `go tool pprof`), so scheduling-path regressions can be diagnosed
 // against real experiment workloads.
+//
+// -trace-out and -timeline-out switch murisim into single-run mode: one
+// simulation of the trace1 workload under -policy (default muri-l),
+// writing a Chrome trace-event JSON file (open in Perfetto or
+// chrome://tracing to see the per-resource stage interleaving) and/or a
+// JSONL job-lifecycle timeline:
+//
+//	murisim -trace-out trace.json -maxjobs 100
+//	murisim -timeline-out timeline.jsonl -policy muri-s -maxjobs 200
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,10 @@ import (
 	"time"
 
 	"muri/internal/experiments"
+	"muri/internal/sched"
+	"muri/internal/sim"
+	"muri/internal/telemetry"
+	"muri/internal/trace"
 )
 
 func main() {
@@ -49,8 +64,21 @@ func main() {
 		seriesDir  = flag.String("series-out", "", "directory for per-policy Figure 8 time-series CSVs")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		// Single-run observability mode.
+		traceOut    = flag.String("trace-out", "", "single run: write a Chrome trace-event JSON file (Perfetto)")
+		timelineOut = flag.String("timeline-out", "", "single run: write the job-lifecycle timeline as JSONL")
+		policy      = flag.String("policy", "muri-l", "single run: scheduling policy")
 	)
 	flag.Parse()
+
+	if *traceOut != "" || *timelineOut != "" {
+		if err := runSingle(*machines, *gpus, *maxJobs, *policy, *traceOut, *timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -153,5 +181,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "murisim: unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runSingle simulates the trace1 workload once with instrumentation
+// attached and writes the requested artifacts.
+func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut string) error {
+	p, err := singlePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Machines = machines
+	cfg.GPUsPerMachine = gpus
+	var tracer *telemetry.Tracer
+	if traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+		cfg.Trace = tracer
+	}
+	cfg.RecordTimeline = timelineOut != ""
+	tc := trace.PhillyConfigs(machines * gpus)[0]
+	if maxJobs > 0 && maxJobs < tc.Jobs {
+		tc.Jobs = maxJobs
+	}
+	start := time.Now()
+	res := sim.Run(cfg, trace.Generate(tc), p)
+	fmt.Printf("single run: policy=%s jobs=%d avgJCT=%v makespan=%v preemptions=%d (wall %v)\n",
+		res.Policy, res.Summary.Jobs, res.Summary.AvgJCT.Round(time.Second),
+		res.Summary.Makespan.Round(time.Second), res.Preemptions,
+		time.Since(start).Round(time.Millisecond))
+	if traceOut != "" {
+		if err := tracer.WriteFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", traceOut, tracer.Len(), tracer.Dropped())
+	}
+	if timelineOut != "" {
+		if err := writeTimeline(timelineOut, res.Timeline); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", timelineOut, len(res.Timeline))
+	}
+	return nil
+}
+
+// writeTimeline dumps timeline events as JSONL, one event per line.
+func writeTimeline(path string, events []sim.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// singlePolicy maps a policy name to its constructor (the subset of
+// murisched's table that makes sense for a one-off simulation).
+func singlePolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "fifo":
+		return sched.FIFO(), nil
+	case "srtf":
+		return sched.SRTF(), nil
+	case "srsf":
+		return sched.SRSF(), nil
+	case "muri-s":
+		return sched.NewMuriS(), nil
+	case "muri-l":
+		return sched.NewMuriL(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }

@@ -15,11 +15,13 @@ package engine
 
 import (
 	"sort"
+	"strconv"
 	"time"
 
 	"muri/internal/job"
 	"muri/internal/metrics"
 	"muri/internal/sched"
+	"muri/internal/telemetry"
 )
 
 // Style selects how a preemptive round reconciles the running set.
@@ -58,6 +60,16 @@ type Config struct {
 	Retry RetryPolicy
 	// Observer, when non-nil, receives every decision as it is issued.
 	Observer func(Decision)
+	// Tracer, when non-nil, records scheduler-round and decision events
+	// into the shared telemetry tracer. Both drivers instrument the
+	// engine once here instead of each shadowing the decision stream.
+	// Nil (the default) records nothing and perturbs nothing.
+	Tracer *telemetry.Tracer
+	// Now supplies the driver's clock for trace timestamps (virtual time
+	// for the simulator, virtualized wall time for the daemon). Only
+	// consulted while Tracer is non-nil; when nil, decisions issued
+	// outside a round reuse the last round's timestamp.
+	Now func() time.Duration
 }
 
 // Record is the engine's lifecycle state for one tracked job.
@@ -85,6 +97,9 @@ type Engine struct {
 	records map[job.ID]*Record
 	stats   metrics.EngineStats
 	seq     uint64
+	// lastNow is the clock value of the most recent round, used to stamp
+	// trace events issued between rounds when cfg.Now is unset.
+	lastNow time.Duration
 }
 
 // New creates an engine. It panics without a policy.
@@ -114,7 +129,62 @@ func (e *Engine) emit(d Decision) Decision {
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(d)
 	}
+	e.traceDecision(d)
 	return d
+}
+
+// traceNow returns the timestamp trace events should carry.
+func (e *Engine) traceNow() time.Duration {
+	if e.cfg.Now != nil {
+		return e.cfg.Now()
+	}
+	return e.lastNow
+}
+
+// traceDecision records one decision as an instant event on the
+// scheduler's per-action decision rows.
+func (e *Engine) traceDecision(d Decision) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	pid := tr.Process("scheduler")
+	tid := tr.Thread(pid, string(d.Action))
+	args := map[string]any{"seq": d.Seq}
+	if d.Key != "" {
+		args["key"] = d.Key
+	}
+	if len(d.Jobs) > 0 {
+		ids := make([]int64, len(d.Jobs))
+		for i, id := range d.Jobs {
+			ids[i] = int64(id)
+		}
+		args["jobs"] = ids
+	}
+	if d.Reason != "" {
+		args["reason"] = string(d.Reason)
+	}
+	tr.Instant(pid, tid, d.String(), "decision", e.traceNow(), args)
+}
+
+// traceRound records one Reconcile round as an instant event carrying
+// the round's headline numbers.
+func (e *Engine) traceRound(in Input, out *Outcome) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	pid := tr.Process("scheduler")
+	tid := tr.Thread(pid, "rounds")
+	tr.Instant(pid, tid, "round "+strconv.Itoa(e.stats.Rounds), "round", in.Now, map[string]any{
+		"candidates": len(in.Candidates),
+		"capacity":   in.Capacity,
+		"planned":    len(out.Planned),
+		"placed":     len(out.Placements),
+		"kept":       len(out.Kept),
+		"killed":     len(out.Killed),
+		"queue":      e.stats.QueueDepth,
+	})
 }
 
 // Track registers a job in the lifecycle state machine at the given
@@ -284,6 +354,7 @@ type Outcome struct {
 // so fixed-seed simulations stay bit-identical.
 func (e *Engine) Reconcile(in Input) Outcome {
 	e.stats.Rounds++
+	e.lastNow = in.Now
 	preempt := e.cfg.Policy.Preemptive()
 	units := e.cfg.Policy.Plan(in.Now, in.Candidates, in.Capacity)
 	out := Outcome{Planned: units}
@@ -532,5 +603,6 @@ func (e *Engine) Reconcile(in Input) Outcome {
 		}
 	}
 	e.stats.QueueDepth = depth
+	e.traceRound(in, &out)
 	return out
 }

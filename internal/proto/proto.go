@@ -41,6 +41,8 @@ const (
 	TypeStatusAck      Type = "status_ack"
 	TypeInjectFault    Type = "inject_fault"     // chaos: fail a job or machine
 	TypeInjectFaultAck Type = "inject_fault_ack" // result of the injection
+	TypeTrace          Type = "trace"            // snapshot the daemon's trace ring
+	TypeTraceAck       Type = "trace_ack"        // Chrome trace-event JSON payload
 )
 
 // JobSpec describes one job inside a Launch message or a Submit request.
@@ -232,6 +234,18 @@ type InjectFaultAck struct {
 	Err string `json:"err,omitempty"`
 }
 
+// TraceReq asks the scheduler for a snapshot of its trace ring.
+type TraceReq struct{}
+
+// TraceAck carries the snapshot as raw Chrome trace-event JSON (kept
+// opaque so proto needs no telemetry types; viewers and murictl write
+// it to disk verbatim). Snapshots are bounded by the daemon's trace
+// ring, which fits MaxMessageSize by construction.
+type TraceAck struct {
+	Trace json.RawMessage `json:"trace,omitempty"`
+	Err   string          `json:"err,omitempty"`
+}
+
 // Message is the framed envelope. Exactly one payload field matching Type
 // should be set.
 type Message struct {
@@ -252,6 +266,8 @@ type Message struct {
 	StatusAck      *StatusAck      `json:"status_ack,omitempty"`
 	InjectFault    *InjectFault    `json:"inject_fault,omitempty"`
 	InjectFaultAck *InjectFaultAck `json:"inject_fault_ack,omitempty"`
+	Trace          *TraceReq       `json:"trace,omitempty"`
+	TraceAck       *TraceAck       `json:"trace_ack,omitempty"`
 }
 
 // Codec reads and writes framed messages on a stream. Reads and writes

@@ -28,6 +28,8 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: TypeSubmitAck, SubmitAck: &SubmitAck{ID: 9}},
 		{Type: TypeStatus, Status: &Status{}},
 		{Type: TypeStatusAck, StatusAck: &StatusAck{Pending: 1, Running: 2, Done: 3}},
+		{Type: TypeTrace, Trace: &TraceReq{}},
+		{Type: TypeTraceAck, TraceAck: &TraceAck{Trace: []byte(`{"traceEvents":[]}`)}},
 	}
 	var buf bytes.Buffer
 	c := NewCodec(&buf)
@@ -72,6 +74,24 @@ func TestLaunchFieldsSurvive(t *testing.T) {
 	}
 	if out.Launch.TimeScale != 0.5 {
 		t.Errorf("time scale = %v, want 0.5", out.Launch.TimeScale)
+	}
+}
+
+func TestTracePayloadOpaque(t *testing.T) {
+	// The trace payload is raw JSON that must survive framing untouched:
+	// murictl writes it to disk verbatim for Perfetto.
+	raw := []byte(`{"traceEvents":[{"name":"round 1","ph":"i","ts":12.5}],"displayTimeUnit":"ms"}`)
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if err := c.Write(&Message{Type: TypeTraceAck, TraceAck: &TraceAck{Trace: raw}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceAck == nil || !bytes.Equal(out.TraceAck.Trace, raw) {
+		t.Errorf("trace payload mutated in flight: %s", out.TraceAck.Trace)
 	}
 }
 

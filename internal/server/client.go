@@ -93,6 +93,26 @@ func (c *Client) InjectFault(jobID int64, machine string) error {
 	return nil
 }
 
+// TraceSnapshot fetches the daemon's trace ring as Chrome trace-event
+// JSON (viewable in Perfetto). The daemon keeps recording; snapshots
+// taken later include everything earlier ones did, up to the ring's cap.
+func (c *Client) TraceSnapshot() ([]byte, error) {
+	if err := c.codec.Write(&proto.Message{Type: proto.TypeTrace, Trace: &proto.TraceReq{}}); err != nil {
+		return nil, err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != proto.TypeTraceAck || reply.TraceAck == nil {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if reply.TraceAck.Err != "" {
+		return nil, fmt.Errorf("client: trace snapshot: %s", reply.TraceAck.Err)
+	}
+	return reply.TraceAck.Trace, nil
+}
+
 // Replay submits every job of a trace to the scheduler, pacing the
 // submissions by the trace's inter-arrival gaps compressed by timeScale
 // (wall sleep = virtual gap × timeScale). Iteration counts derive from

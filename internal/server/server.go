@@ -26,6 +26,7 @@ import (
 	"muri/internal/metrics"
 	"muri/internal/proto"
 	"muri/internal/sched"
+	"muri/internal/telemetry"
 	"muri/internal/workload"
 )
 
@@ -69,8 +70,17 @@ type Config struct {
 	// Observer, when non-nil, receives every engine decision as it is
 	// issued (the parity harness taps the decision stream here).
 	Observer func(engine.Decision)
-	// Logf receives diagnostics; nil uses log.Printf.
+	// Logf receives diagnostics; nil uses log.Printf. Lines are rendered
+	// by the structured logger (level=... component=server key=value), so
+	// any printf-shaped sink works unchanged.
 	Logf func(format string, args ...any)
+	// LogLevel is the minimum severity emitted; the zero value (debug)
+	// keeps everything.
+	LogLevel telemetry.Level
+	// TraceEvents bounds the daemon's always-on trace ring (scheduler
+	// rounds and decisions on the virtual clock, snapshotted by the
+	// TraceSnapshot RPC). Zero uses telemetry.DefaultMaxEvents.
+	TraceEvents int
 }
 
 // jobState tracks one submitted job's daemon-side bookkeeping. The
@@ -160,9 +170,25 @@ type Server struct {
 	// re-registration after an eviction counts as a repair.
 	seenMachines map[string]bool
 	faults       metrics.FaultStats
-	conns        map[net.Conn]bool
-	kick         chan struct{}
-	wg           sync.WaitGroup
+	// leaseEvictions counts executors evicted specifically for lease
+	// expiry (a subset of faults.Crashes, which also counts disconnects).
+	leaseEvictions uint64
+	conns          map[net.Conn]bool
+	kick           chan struct{}
+	wg             sync.WaitGroup
+
+	// log is the structured logger (component=server), rendered through
+	// cfg.Logf.
+	log *telemetry.Logger
+	// tracer records scheduler rounds and decisions on the virtual clock
+	// for the TraceSnapshot RPC. Always on, bounded by cfg.TraceEvents.
+	tracer *telemetry.Tracer
+	// reg is the /metrics registry; engine and fault counters are
+	// func-backed so every scrape agrees with the status RPC.
+	reg *telemetry.Registry
+	// jctHist observes each finished job's virtual JCT in seconds;
+	// roundHist observes each scheduling round's wall latency in seconds.
+	jctHist, roundHist *telemetry.Histogram
 }
 
 // New creates a daemon with defaults filled in.
@@ -197,20 +223,13 @@ func New(cfg Config) *Server {
 	if cfg.FaultRetryBudget == 0 {
 		cfg.FaultRetryBudget = 8
 	}
-	eng := engine.New(engine.Config{
-		Policy:             cfg.Policy,
-		Style:              engine.Differential,
-		StarvationPatience: cfg.StarvationPatience,
-		Retry: engine.RetryPolicy{
-			BackoffBase: cfg.FaultBackoffBase,
-			BackoffMax:  cfg.FaultBackoffMax,
-			Budget:      cfg.FaultRetryBudget,
-		},
-		Observer: cfg.Observer,
-	})
-	return &Server{
+	if cfg.TraceEvents <= 0 {
+		// A TraceAck must fit one proto frame (16MB); at ~150 bytes per
+		// JSON event, 64Ki events stay safely under it.
+		cfg.TraceEvents = 1 << 16
+	}
+	s := &Server{
 		cfg:          cfg,
-		eng:          eng,
 		executors:    make(map[string]*executorConn),
 		jobs:         make(map[int64]*jobState),
 		groups:       make(map[int64]*groupState),
@@ -220,15 +239,30 @@ func New(cfg Config) *Server {
 		conns:        make(map[net.Conn]bool),
 		kick:         make(chan struct{}, 1),
 		started:      time.Now(),
+		tracer:       telemetry.NewTracer(cfg.TraceEvents),
 	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-		return
+	sink := cfg.Logf
+	if sink == nil {
+		sink = log.Printf
 	}
-	log.Printf(format, args...)
+	s.log = telemetry.NewLogger(sink, cfg.LogLevel).With("component", "server")
+	s.eng = engine.New(engine.Config{
+		Policy:             cfg.Policy,
+		Style:              engine.Differential,
+		StarvationPatience: cfg.StarvationPatience,
+		Retry: engine.RetryPolicy{
+			BackoffBase: cfg.FaultBackoffBase,
+			BackoffMax:  cfg.FaultBackoffMax,
+			Budget:      cfg.FaultRetryBudget,
+		},
+		Observer: cfg.Observer,
+		Tracer:   s.tracer,
+		// virtualNowLocked reads only immutable fields, so the engine may
+		// stamp trace events from any point of the reconcile path.
+		Now: s.virtualNowLocked,
+	})
+	s.initMetrics()
+	return s
 }
 
 // ListenAndServe binds addr and serves until Close. It returns the bound
@@ -356,10 +390,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	switch m.Type {
 	case proto.TypeRegister:
 		s.handleExecutor(conn, codec, m.Register)
-	case proto.TypeSubmit, proto.TypeStatus, proto.TypeInjectFault:
+	case proto.TypeSubmit, proto.TypeStatus, proto.TypeInjectFault, proto.TypeTrace:
 		s.handleClient(conn, codec, m)
 	default:
-		s.logf("server: unexpected first message %s", m.Type)
+		s.log.Warn("unexpected first message", "type", m.Type)
 		conn.Close()
 	}
 }
@@ -390,7 +424,7 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 		s.dropExecutor(e)
 		return
 	}
-	s.logf("server: executor %s registered with %d GPUs (lease %v)", e.id, e.gpus, s.cfg.LivenessTimeout)
+	s.log.Info("executor registered", "machine", e.id, "gpus", e.gpus, "lease", s.cfg.LivenessTimeout)
 	s.kickSchedule()
 	for {
 		m, err := codec.Read()
@@ -413,7 +447,7 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 		case proto.TypeHeartbeat:
 			// The lease renewal above is all a heartbeat needs.
 		default:
-			s.logf("server: unexpected executor message %s", m.Type)
+			s.log.Warn("unexpected executor message", "machine", e.id, "type", m.Type)
 		}
 	}
 }
@@ -466,7 +500,7 @@ func (s *Server) dropExecutor(e *executorConn) {
 		}
 		delete(s.groups, gid)
 	}
-	s.logf("server: executor %s dropped; %d jobs requeued", e.id, requeued)
+	s.log.Warn("executor dropped", "machine", e.id, "requeued", requeued)
 	s.kickSchedule()
 }
 
@@ -495,8 +529,16 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 				ack.Err = err.Error()
 			}
 			reply = proto.Message{Type: proto.TypeInjectFaultAck, InjectFaultAck: &ack}
+		case proto.TypeTrace:
+			ack := proto.TraceAck{}
+			if data, err := s.TraceJSON(); err != nil {
+				ack.Err = err.Error()
+			} else {
+				ack.Trace = data
+			}
+			reply = proto.Message{Type: proto.TypeTraceAck, TraceAck: &ack}
 		default:
-			s.logf("server: unexpected client message %s", m.Type)
+			s.log.Warn("unexpected client message", "type", m.Type)
 			return
 		}
 		if err := codec.Write(&reply); err != nil {
@@ -588,7 +630,7 @@ func (s *Server) onProfiled(p *proto.Profiled) {
 	defer s.mu.Unlock()
 	delete(s.profiling, p.Model)
 	if p.Err != "" {
-		s.logf("server: profiling %s failed: %s", p.Model, p.Err)
+		s.log.Warn("profiling failed", "model", p.Model, "err", p.Err)
 		return
 	}
 	s.profiles[p.Model] = p.Stages
@@ -645,6 +687,8 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	js.job.DoneIterations = js.job.Iterations
 	js.job.State = job.Done
 	js.job.FinishedAt = s.virtualNowLocked()
+	jct := time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
+	s.jctHist.Observe(jct.Seconds())
 	s.detachFromGroupLocked(d.GroupID, d.JobID)
 	s.kickSchedule()
 }
@@ -682,14 +726,15 @@ func (s *Server) recordJobFaultLocked(js *jobState, origin, errMsg string) {
 	backoff, deadlettered := s.eng.RecordFault(id)
 	if deadlettered {
 		s.faults.DeadLettered++
-		s.logf("server: job %d dead-lettered after %d faults (last on %s: %s)",
-			js.spec.ID, s.eng.FaultsOf(id), origin, errMsg)
+		s.log.Error("job dead-lettered", "job", js.spec.ID, "faults", s.eng.FaultsOf(id),
+			"machine", origin, "err", errMsg)
 		return
 	}
 	js.notBefore = time.Now().Add(backoff)
 	s.faults.Requeues++
-	s.logf("server: job %d faulted on %s (%s); fault %d, requeued with %v backoff, %d/%d iterations done",
-		js.spec.ID, origin, errMsg, s.eng.FaultsOf(id), backoff, js.job.DoneIterations, js.job.Iterations)
+	s.log.Warn("job faulted; requeued", "job", js.spec.ID, "machine", origin, "err", errMsg,
+		"fault", s.eng.FaultsOf(id), "backoff", backoff,
+		"done", js.job.DoneIterations, "iterations", js.job.Iterations)
 }
 
 // detachFromGroupLocked removes a job from its group, freeing the
@@ -748,10 +793,12 @@ func (s *Server) scheduleLocked() {
 	// hung machine keeps its TCP connection open, so read errors alone
 	// are not enough.
 	wallNow := time.Now()
+	defer func() { s.roundHist.Observe(time.Since(wallNow).Seconds()) }()
 	for _, e := range s.executors {
 		if wallNow.After(e.leaseExpiry) {
 			dead := e
-			s.logf("server: executor %s lease expired; evicting", dead.id)
+			s.leaseEvictions++
+			s.log.Warn("executor lease expired; evicting", "machine", dead.id)
 			s.wg.Add(1)
 			go func() { // takes s.mu; must run outside this lock
 				defer s.wg.Done()
@@ -905,7 +952,7 @@ func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) (int
 		ReportEvery: s.cfg.ReportEvery,
 	}}
 	if err := exec.send(msg); err != nil {
-		s.logf("server: launch to %s failed: %v", exec.id, err)
+		s.log.Warn("launch failed", "machine", exec.id, "err", err)
 		return 0, false
 	}
 	exec.free -= u.GPUs
@@ -956,7 +1003,7 @@ func (s *Server) injectFault(req *proto.InjectFault) error {
 		if e == nil {
 			return fmt.Errorf("server: unknown machine %q", req.Machine)
 		}
-		s.logf("server: injected crash on machine %s", req.Machine)
+		s.log.Info("injected crash", "machine", req.Machine)
 		s.dropExecutor(e)
 		return nil
 	}

@@ -34,7 +34,9 @@ func startHarness(t *testing.T, cfg Config, executors int, fault executor.FaultF
 	if cfg.ReportEvery == 0 {
 		cfg.ReportEvery = 20 * time.Millisecond
 	}
-	cfg.Logf = t.Logf
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
 	srv := New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,111 @@
+// Daemon observability surface: the /metrics registry, the debug HTTP
+// handler (murisched -debug-addr), and the trace snapshot served to
+// murictl. See DESIGN.md §9.
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"muri/internal/metrics"
+	"muri/internal/telemetry"
+)
+
+// initMetrics registers the daemon's metric set. Engine, fault, and
+// capacity figures are func-backed: each scrape samples the live state
+// under s.mu, so /metrics always agrees with the status RPC's
+// EngineSummary rather than drifting behind duplicate counters.
+func (s *Server) initMetrics() {
+	r := telemetry.NewRegistry()
+	s.reg = r
+
+	engCounter := func(pick func() int) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return uint64(pick())
+		}
+	}
+	r.CounterFunc("muri_sched_rounds_total", "Scheduling rounds run.",
+		engCounter(func() int { return s.eng.Stats().Rounds }))
+	r.CounterFunc("muri_sched_admissions_total", "Units launched under a new key.",
+		engCounter(func() int { return s.eng.Stats().Launches }))
+	r.CounterFunc("muri_sched_preemptions_total", "Units killed to reclaim capacity.",
+		engCounter(func() int { return s.eng.Stats().Preemptions }))
+	r.CounterFunc("muri_sched_requeues_total", "Jobs pushed back to the queue.",
+		engCounter(func() int { return s.eng.Stats().Requeues }))
+	r.CounterFunc("muri_sched_deadletters_total", "Jobs parked after exhausting retries.",
+		engCounter(func() int { return s.eng.Stats().DeadLettered }))
+	r.CounterFunc("muri_fault_crashes_total", "Executor losses (disconnects and evictions).",
+		engCounter(func() int { return s.faults.Crashes }))
+	r.CounterFunc("muri_fault_transient_total", "Transient job faults reported or injected.",
+		engCounter(func() int { return s.faults.Transient }))
+	r.CounterFunc("muri_fault_repairs_total", "Executors re-registering after a loss.",
+		engCounter(func() int { return s.faults.Repairs }))
+	r.CounterFunc("muri_lease_evictions_total", "Executors evicted for lease expiry.",
+		func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.leaseEvictions
+		})
+
+	engGauge := func(pick func() int) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(pick())
+		}
+	}
+	r.GaugeFunc("muri_queue_length", "Candidates left unplaced after the last round.",
+		engGauge(func() int { return s.eng.Stats().QueueDepth }))
+	r.GaugeFunc("muri_capacity_gpus_total", "GPUs across registered executors.",
+		engGauge(func() int {
+			total := 0
+			for _, e := range s.executors {
+				total += e.gpus
+			}
+			return total
+		}))
+	r.GaugeFunc("muri_capacity_gpus_free", "Unallocated GPUs across registered executors.",
+		engGauge(func() int {
+			free := 0
+			for _, e := range s.executors {
+				free += e.free
+			}
+			return free
+		}))
+	r.GaugeFunc("muri_machines_degraded", "Machines seen before but absent now (crashed, not yet repaired).",
+		engGauge(func() int { return len(s.seenMachines) - len(s.executors) }))
+
+	// Virtual JCT spans seconds to hours on scaled runs; round latency is
+	// wall time in the microsecond-to-second range.
+	s.jctHist = r.Histogram("muri_jct_seconds",
+		"Virtual job completion time of finished jobs.",
+		metrics.ExponentialBounds(1, 2, 16)...)
+	s.roundHist = r.Histogram("muri_round_latency_seconds",
+		"Wall-clock latency of scheduling rounds.",
+		metrics.ExponentialBounds(1e-6, 10, 8)...)
+}
+
+// Metrics exposes the daemon's registry (tests scrape it directly).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// TraceJSON snapshots the daemon's trace ring as Chrome trace-event
+// JSON. The ring keeps recording; the snapshot is a copy.
+func (s *Server) TraceJSON() ([]byte, error) { return s.tracer.ExportJSON() }
+
+// DebugHandler serves the observability endpoints murisched binds on
+// -debug-addr: /metrics (Prometheus text), /debug/vars (expvar), and
+// /debug/pprof (the standard profiles).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

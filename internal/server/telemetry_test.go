@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"muri/internal/telemetry"
+)
+
+// TestMetricsEndpointMatchesStatus is the acceptance criterion of the
+// metrics surface: after a workload completes, a /metrics scrape must be
+// valid Prometheus text whose round/admission/preemption/fault counters
+// equal the EngineSummary the status RPC reports.
+func TestMetricsEndpointMatchesStatus(t *testing.T) {
+	h := startHarness(t, Config{}, 1, nil)
+	c := h.client(t)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit("gpt2", 1, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Scrape over HTTP, exactly as a Prometheus server would, then take a
+	// status snapshot. Both read the same live engine state; with the
+	// workload drained the counters are quiescent and must agree.
+	rec := httptest.NewRecorder()
+	h.srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	samples, err := telemetry.ParsePrometheus(rec.Body.String())
+	if err != nil {
+		t.Fatalf("scrape is not valid Prometheus text: %v", err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine == nil {
+		t.Fatal("status carries no engine summary")
+	}
+	for name, want := range map[string]int{
+		"muri_sched_rounds_total":      st.Engine.Rounds,
+		"muri_sched_admissions_total":  st.Engine.Launches,
+		"muri_sched_preemptions_total": st.Engine.Preemptions,
+		"muri_sched_requeues_total":    st.Engine.Requeues,
+		"muri_sched_deadletters_total": st.Engine.DeadLettered,
+		"muri_queue_length":            st.Engine.QueueDepth,
+	} {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("scrape missing %s", name)
+			continue
+		}
+		if int(got) != want {
+			t.Errorf("%s = %v, status says %d", name, got, want)
+		}
+	}
+	if got := samples["muri_capacity_gpus_total"]; got != 8 {
+		t.Errorf("muri_capacity_gpus_total = %v, want 8", got)
+	}
+	if got := samples["muri_jct_seconds_count"]; int(got) != st.Done {
+		t.Errorf("JCT histogram holds %v observations, %d jobs done", got, st.Done)
+	}
+	if samples["muri_round_latency_seconds_count"] == 0 {
+		t.Error("round-latency histogram never observed a round")
+	}
+}
+
+// TestTraceSnapshotRPC drives a workload, snapshots the daemon's trace
+// over the wire, and checks the payload parses as Chrome trace JSON
+// containing scheduler rounds and decisions on the virtual clock.
+func TestTraceSnapshotRPC(t *testing.T) {
+	h := startHarness(t, Config{}, 1, nil)
+	c := h.client(t)
+	if _, err := c.Submit("vgg19", 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitAllDone(20*time.Second, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.TraceSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := telemetry.ParseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("snapshot is not valid trace JSON: %v", err)
+	}
+	rounds, launches := 0, 0
+	for _, e := range f.Instants() {
+		switch {
+		case e.Cat == "round":
+			rounds++
+		case e.Cat == "decision" && strings.HasPrefix(e.Name, "launch"):
+			launches++
+		}
+	}
+	if rounds == 0 {
+		t.Error("trace snapshot holds no scheduler rounds")
+	}
+	if launches == 0 {
+		t.Error("trace snapshot holds no launch decisions")
+	}
+}
+
+// TestStructuredLogLines checks the daemon's diagnostics flow through
+// the Logf hook as logfmt lines carrying component and machine fields.
+func TestStructuredLogLines(t *testing.T) {
+	lines := make(chan string, 256)
+	cfg := Config{}
+	cfg.Logf = func(format string, args ...any) {
+		select {
+		case lines <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	h := startHarness(t, cfg, 1, nil)
+	h.client(t) // the harness already saw the executor register
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line := <-lines:
+			if strings.Contains(line, `msg="executor registered"`) {
+				for _, want := range []string{"level=info", "component=server", "machine=machine-0", "gpus=8"} {
+					if !strings.Contains(line, want) {
+						t.Errorf("registration line %q missing %q", line, want)
+					}
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no structured registration line observed")
+		}
+	}
+}

@@ -179,3 +179,45 @@ func TestFaultTimelineEvents(t *testing.T) {
 		t.Error("chaos run recorded no crashes")
 	}
 }
+
+// TestFaultTimelineMachineAttribution: every placement-bearing timeline
+// event names the machine(s) it happened on. Machine-level fault/repair
+// events carry the crashed machine, crash-induced job faults carry the
+// machine whose loss requeued them, and start/restart events carry the
+// unit's full allocation; submit and finish events have no placement and
+// stay blank.
+func TestFaultTimelineMachineAttribution(t *testing.T) {
+	tr := chaosTrace()
+	cfg := chaosConfig(chaosPlan(3, 4))
+	cfg.RecordTimeline = true
+	r := Run(cfg, tr, sched.NewMuriL())
+	attributed := 0
+	for _, e := range r.Timeline {
+		switch e.Kind {
+		case "submit", "finish":
+			if e.Machine != "" {
+				t.Errorf("%s event carries machine %q", e.Kind, e.Machine)
+			}
+			continue
+		case "start", "restart", "fault", "repair":
+			if e.Machine == "" {
+				t.Errorf("%s event at %v (job %d, unit %q) has no machine attribution",
+					e.Kind, e.Time, e.Job, e.Unit)
+				continue
+			}
+		}
+		attributed++
+		for _, m := range strings.Split(e.Machine, ",") {
+			if !strings.HasPrefix(m, "machine-") {
+				t.Errorf("%s event names malformed machine %q", e.Kind, m)
+			}
+		}
+		// Machine-level events attribute to exactly the machine in Unit.
+		if strings.HasPrefix(e.Unit, "machine-") && e.Machine != e.Unit {
+			t.Errorf("machine-level %s on %q attributed to %q", e.Kind, e.Unit, e.Machine)
+		}
+	}
+	if attributed == 0 {
+		t.Error("no timeline event carries machine attribution")
+	}
+}

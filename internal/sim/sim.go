@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"muri/internal/cluster"
@@ -24,6 +25,7 @@ import (
 	"muri/internal/metrics"
 	"muri/internal/profile"
 	"muri/internal/sched"
+	"muri/internal/telemetry"
 	"muri/internal/trace"
 	"muri/internal/workload"
 )
@@ -72,6 +74,17 @@ type Config struct {
 	// scheduling engine as it is issued (the parity harness compares
 	// this stream against the live daemon's).
 	Observer func(engine.Decision)
+	// Trace, when non-nil, records the run into a Chrome trace-event
+	// tracer (telemetry.Tracer): per-unit per-resource stage spans,
+	// scheduler rounds and decisions, and fault/repair instants, all on
+	// the virtual clock. Nil leaves the run bit-identical to an
+	// uninstrumented build.
+	Trace *telemetry.Tracer
+	// TraceStageCycles bounds the stage-level span emission per unit
+	// launch: the first N group iterations are rendered (enough to see
+	// the interleaving pattern without recording every iteration of a
+	// multi-day job). Zero uses the default of 4.
+	TraceStageCycles int
 	// Debug, when non-nil, receives a one-line summary of every
 	// scheduling decision (useful for diagnosing placement behaviour).
 	Debug io.Writer
@@ -111,20 +124,30 @@ type Result struct {
 	Engine metrics.EngineStats
 }
 
-// Event is one job-lifecycle event in a run's timeline.
+// Event is one job-lifecycle event in a run's timeline. The JSON tags
+// define the `murisim -timeline-out` JSONL schema.
 type Event struct {
 	// Time is the virtual timestamp.
-	Time time.Duration
+	Time time.Duration `json:"t"`
 	// Kind is "submit", "start", "restart", "finish", "fault", or
 	// "repair". Fault events carry the affected job (zero for a machine
 	// crash) and repair events mark a machine returning to service.
-	Kind string
-	// Job identifies the job.
-	Job job.ID
+	Kind string `json:"kind"`
+	// Job identifies the job. It is kept even when zero so a JSONL dump
+	// can tell job 0 apart from machine-level fault/repair events, which
+	// carry a machine-name Unit instead.
+	Job job.ID `json:"job"`
 	// Unit names the unit the job runs in (member IDs), empty on submit
 	// and finish events; on machine-level fault/repair events it names
 	// the machine ("machine-3").
-	Unit string
+	Unit string `json:"unit,omitempty"`
+	// Machine attributes the event to cluster machines: the crashed or
+	// repaired machine on machine-level fault/repair events, the machine
+	// whose crash requeued the job on crash-induced job faults, and the
+	// (comma-joined) machines hosting the unit on start, restart, and
+	// transient-fault events. Empty on submit and finish events, which
+	// have no placement.
+	Machine string `json:"machine,omitempty"`
 }
 
 // unit is a placed schedulable unit at run time.
@@ -285,9 +308,9 @@ func (s *sim) invalidateUnit(u *unit) {
 }
 
 // record appends a timeline event when recording is enabled.
-func (s *sim) record(kind string, id job.ID, unit string) {
+func (s *sim) record(kind string, id job.ID, unit, machine string) {
 	if s.cfg.RecordTimeline {
-		s.timeline = append(s.timeline, Event{Time: s.now, Kind: kind, Job: id, Unit: unit})
+		s.timeline = append(s.timeline, Event{Time: s.now, Kind: kind, Job: id, Unit: unit, Machine: machine})
 	}
 }
 
@@ -306,16 +329,18 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		cfg:     cfg,
 		cluster: cluster.New(cfg.Machines, cfg.GPUsPerMachine),
 		policy:  policy,
-		eng: engine.New(engine.Config{
-			Policy:             policy,
-			Style:              engine.ReplaceAll,
-			StarvationPatience: cfg.StarvationPatience,
-			// The simulator's failure model retries from checkpoint
-			// indefinitely: no backoff, no dead-letter budget.
-			Retry:    engine.RetryPolicy{Budget: -1},
-			Observer: cfg.Observer,
-		}),
 	}
+	s.eng = engine.New(engine.Config{
+		Policy:             policy,
+		Style:              engine.ReplaceAll,
+		StarvationPatience: cfg.StarvationPatience,
+		// The simulator's failure model retries from checkpoint
+		// indefinitely: no backoff, no dead-letter budget.
+		Retry:    engine.RetryPolicy{Budget: -1},
+		Observer: cfg.Observer,
+		Tracer:   cfg.Trace,
+		Now:      func() time.Duration { return s.now },
+	})
 	if !cfg.Faults.Empty() {
 		s.plan = cfg.Faults
 		s.drawn = make(map[job.ID]int)
@@ -472,10 +497,27 @@ func machineLabel(id int) string { return "machine-" + strconv.Itoa(id) }
 // recordAt appends a timeline event with an explicit timestamp (fault
 // and repair events carry the plan's time, which can precede s.now after
 // an idle fast-forward).
-func (s *sim) recordAt(at time.Duration, kind string, id job.ID, unit string) {
+func (s *sim) recordAt(at time.Duration, kind string, id job.ID, unit, machine string) {
 	if s.cfg.RecordTimeline {
-		s.timeline = append(s.timeline, Event{Time: at, Kind: kind, Job: id, Unit: unit})
+		s.timeline = append(s.timeline, Event{Time: at, Kind: kind, Job: id, Unit: unit, Machine: machine})
 	}
+}
+
+// allocMachines names an allocation's machines, comma-joined in
+// ascending ID order ("machine-1,machine-3").
+func allocMachines(a cluster.Alloc) string {
+	ids := a.Machines()
+	if len(ids) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(machineLabel(id))
+	}
+	return b.String()
 }
 
 // crashMachine takes a machine down: every unit with GPUs on it is
@@ -487,7 +529,8 @@ func (s *sim) crashMachine(e faults.MachineEvent) {
 		return // double crash cannot happen in a generated plan
 	}
 	s.fstats.Crashes++
-	s.recordAt(e.Time, "fault", 0, machineLabel(e.Machine))
+	s.recordAt(e.Time, "fault", 0, machineLabel(e.Machine), machineLabel(e.Machine))
+	s.traceFault("crash "+machineLabel(e.Machine), e.Time, map[string]any{"machine": e.Machine})
 	var still []*unit
 	for _, u := range s.running {
 		if u.alloc.Slots[e.Machine] == 0 {
@@ -502,7 +545,7 @@ func (s *sim) crashMachine(e faults.MachineEvent) {
 			}
 			s.fstats.Requeues++
 			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
-			s.recordAt(e.Time, "fault", j.ID, key)
+			s.recordAt(e.Time, "fault", j.ID, key, machineLabel(e.Machine))
 			j.State = job.Pending
 			// The engine forgets the placement, so the next admission
 			// charges a full checkpoint restart even if the unit reforms
@@ -522,7 +565,8 @@ func (s *sim) repairMachine(e faults.MachineEvent) {
 		return
 	}
 	s.fstats.Repairs++
-	s.recordAt(e.Time, "repair", 0, machineLabel(e.Machine))
+	s.recordAt(e.Time, "repair", 0, machineLabel(e.Machine), machineLabel(e.Machine))
+	s.traceFault("repair "+machineLabel(e.Machine), e.Time, map[string]any{"machine": e.Machine})
 	s.cluster.SetUp(e.Machine)
 }
 
@@ -543,7 +587,8 @@ func (s *sim) failJob(f jobFault) {
 			s.fstats.Transient++
 			s.fstats.Requeues++
 			s.fstats.WorkLost += time.Duration(u.carry[i] * float64(u.iterTime[i]))
-			s.recordAt(f.at, "fault", j.ID, engine.UnitKey(u.spec))
+			s.recordAt(f.at, "fault", j.ID, engine.UnitKey(u.spec), allocMachines(u.alloc))
+			s.traceFault(fmt.Sprintf("transient fault job %d", j.ID), f.at, map[string]any{"job": int64(j.ID)})
 			j.State = job.Pending
 			s.eng.RecordFault(j.ID)
 			s.pending = append(s.pending, j)
@@ -594,7 +639,7 @@ func (s *sim) earliestCompletion() (time.Duration, bool) {
 // admitArrivals moves jobs whose submit time has passed into the queue.
 func (s *sim) admitArrivals() {
 	for s.arrived < len(s.all) && s.all[s.arrived].Submit <= s.now {
-		s.record("submit", s.all[s.arrived].ID, "")
+		s.record("submit", s.all[s.arrived].ID, "", "")
 		s.pending = append(s.pending, s.all[s.arrived])
 		s.arrived++
 	}
@@ -693,20 +738,28 @@ func (s *sim) schedule() {
 				u.carry[i] = oldCarry[m.Job.ID]
 			}
 		}
+		launched := false
 		for _, m := range p.Members {
 			if m.Fresh {
 				m.Job.StartedAt = s.now
-				s.record("start", m.Job.ID, p.Key)
+				s.record("start", m.Job.ID, p.Key, allocMachines(u.alloc))
+				launched = true
 			} else if m.Restart {
 				// Either the job resumes after preemption or its unit's
 				// composition changed — both restart the worker process.
 				m.Job.Restarts++
-				s.record("restart", m.Job.ID, p.Key)
+				s.record("restart", m.Job.ID, p.Key, allocMachines(u.alloc))
+				launched = true
 			}
 		}
 		if p.Restart && s.cfg.RestartOverhead > 0 {
 			u.readyAt = s.now + s.cfg.RestartOverhead
 			s.preemptions++
+		}
+		if launched {
+			// Render the first few group iterations of this launch as
+			// per-resource stage spans (tracing only; nil tracer is inert).
+			s.traceUnitStages(u, p.Key)
 		}
 		if s.plan != nil {
 			// Transient-fault draws: exactly one per execution attempt

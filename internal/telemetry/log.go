@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to
+// its Level, for command-line flags.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// Logger is a leveled key=value logger. It renders each entry as a
+// single logfmt-style line — `level=info component=server msg="..."
+// key=value ...` — and hands it to a printf-shaped sink, so it threads
+// through the daemon's existing Logf hook unchanged. With-fields are
+// carried on every line, giving the daemon's logs stable component /
+// job / machine attribution that `grep job=12` can follow.
+//
+// A nil *Logger discards everything, so call sites never need a guard.
+type Logger struct {
+	sink   func(format string, args ...any)
+	min    Level
+	prefix string // pre-rendered "k=v k=v" of With fields
+}
+
+// NewLogger builds a logger writing lines at or above min through sink
+// (printf-shaped; the daemon passes its Logf hook). A nil sink returns
+// a nil logger, which discards everything.
+func NewLogger(sink func(format string, args ...any), min Level) *Logger {
+	if sink == nil {
+		return nil
+	}
+	return &Logger{sink: sink, min: min}
+}
+
+// With returns a child logger whose lines carry the extra key=value
+// fields (appended after the parent's).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	extra := renderFields(kv)
+	if extra != "" {
+		if child.prefix != "" {
+			child.prefix += " " + extra
+		} else {
+			child.prefix = extra
+		}
+	}
+	return &child
+}
+
+// Enabled reports whether lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool { return l != nil && lvl >= l.min }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(l.prefix))
+	b.WriteString("level=")
+	b.WriteString(lvl.String())
+	if l.prefix != "" {
+		b.WriteByte(' ')
+		b.WriteString(l.prefix)
+	}
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	if extra := renderFields(kv); extra != "" {
+		b.WriteByte(' ')
+		b.WriteString(extra)
+	}
+	l.sink("%s", b.String())
+}
+
+// renderFields renders alternating key/value pairs as "k=v k=v". An
+// odd trailing value is rendered under the key "!BADKEY" rather than
+// dropped, mirroring slog's defensive behavior.
+func renderFields(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i+1 >= len(kv) {
+			b.WriteString("!BADKEY=")
+			b.WriteString(quoteValue(fmt.Sprint(kv[i])))
+			break
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv[i+1]))
+	}
+	return b.String()
+}
+
+// formatValue renders one value, quoting only when needed.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return quoteValue(x)
+	case time.Duration:
+		return x.String()
+	case error:
+		return quoteValue(x.Error())
+	case fmt.Stringer:
+		return quoteValue(x.String())
+	default:
+		return quoteValue(fmt.Sprint(v))
+	}
+}
+
+// quoteValue quotes s if it contains spaces, quotes, or control
+// characters; bare tokens pass through unchanged.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// capture collects rendered log lines.
+func capture() (*[]string, func(format string, args ...any)) {
+	var lines []string
+	return &lines, func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+}
+
+func TestLoggerRendersKeyValueLines(t *testing.T) {
+	lines, sink := capture()
+	log := NewLogger(sink, LevelInfo).With("component", "server")
+	log.Info("executor registered", "machine", "m-0", "gpus", 4, "lease", 5*time.Second)
+	if len(*lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(*lines))
+	}
+	want := `level=info component=server msg="executor registered" machine=m-0 gpus=4 lease=5s`
+	if (*lines)[0] != want {
+		t.Errorf("line = %q\nwant  %q", (*lines)[0], want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	lines, sink := capture()
+	log := NewLogger(sink, LevelWarn)
+	log.Debug("d")
+	log.Info("i")
+	log.Warn("w")
+	log.Error("e")
+	if len(*lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (warn+error): %v", len(*lines), *lines)
+	}
+	if !log.Enabled(LevelError) || log.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestLoggerFieldInheritance(t *testing.T) {
+	lines, sink := capture()
+	base := NewLogger(sink, LevelDebug).With("component", "server")
+	child := base.With("job", 12)
+	child.Info("faulted", "machine", "m-3")
+	want := `level=info component=server job=12 msg=faulted machine=m-3`
+	if (*lines)[0] != want {
+		t.Errorf("line = %q\nwant  %q", (*lines)[0], want)
+	}
+	// The parent is unaffected by the child's fields.
+	base.Info("round")
+	if (*lines)[1] != `level=info component=server msg=round` {
+		t.Errorf("parent line = %q", (*lines)[1])
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	lines, sink := capture()
+	log := NewLogger(sink, LevelDebug)
+	log.Info("msg with spaces", "err", errors.New(`broken "pipe"`), "empty", "")
+	got := (*lines)[0]
+	want := `level=info msg="msg with spaces" err="broken \"pipe\"" empty=""`
+	if got != want {
+		t.Errorf("line = %q\nwant  %q", got, want)
+	}
+}
+
+func TestLoggerOddFields(t *testing.T) {
+	lines, sink := capture()
+	NewLogger(sink, LevelDebug).Info("m", "dangling")
+	if (*lines)[0] != `level=info msg=m !BADKEY=dangling` {
+		t.Errorf("line = %q", (*lines)[0])
+	}
+}
+
+func TestNilLoggerIsInert(t *testing.T) {
+	var log *Logger
+	log.Info("nothing")        // must not panic
+	log = log.With("k", "v")   // must not panic
+	log.Error("still nothing") // must not panic
+	if log.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+	if NewLogger(nil, LevelInfo) != nil {
+		t.Error("nil sink should produce nil logger")
+	}
+}

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"muri/internal/metrics"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous metric, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram wraps a deterministic fixed-bucket metrics.Histogram with a
+// mutex so concurrent observers (the daemon's RPC handlers) can share
+// it. See DESIGN.md §9 for the determinism rationale.
+type Histogram struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
+}
+
+// NewHistogram builds a concurrent histogram over the bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{h: metrics.NewHistogram(bounds...)}
+}
+
+// Observe counts one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.h.Observe(v)
+}
+
+// Snapshot returns a copy of the underlying histogram's state.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Bounds(), h.h.Cumulative(), h.h.Sum(), h.h.Count()
+}
+
+// metricKind is the Prometheus metric type of a registration.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// registration is one named metric in a Registry.
+type registration struct {
+	name string
+	help string
+	kind metricKind
+	// exactly one of the following is set
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFunc func() uint64
+	gaugeFunc   func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration order is export order, so scrapes are
+// stable. Func-backed metrics are sampled at scrape time — the daemon
+// uses them to export engine counters that live under its own mutex,
+// guaranteeing /metrics always agrees with the status RPC.
+type Registry struct {
+	mu   sync.Mutex
+	regs []registration
+	seen map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+func (r *Registry) add(reg registration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[reg.name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", reg.name))
+	}
+	r.seen[reg.name] = true
+	r.regs = append(r.regs, reg)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(registration{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(registration{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a new histogram over bounds.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.add(registration{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a counter sampled from fn at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.add(registration{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(registration{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// formatFloat renders a value the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	regs := append([]registration(nil), r.regs...)
+	r.mu.Unlock()
+	for _, reg := range regs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", reg.name, reg.help, reg.name, reg.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case reg.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", reg.name, reg.counter.Value())
+		case reg.counterFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", reg.name, reg.counterFunc())
+		case reg.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", reg.name, reg.gauge.Value())
+		case reg.gaugeFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", reg.name, formatFloat(reg.gaugeFunc()))
+		case reg.hist != nil:
+			err = writeHistogram(w, reg.name, reg.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram with cumulative le buckets.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	bounds, cum, sum, count := h.Snapshot()
+	for i, b := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(sum), name, count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ParsePrometheus extracts the sample value of every non-comment line
+// of a text exposition body, keyed by the full series name (labels
+// included). It exists for tests and murictl, not as a general client.
+func ParsePrometheus(body string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	start := 0
+	for pos := 0; pos <= len(body); pos++ {
+		if pos != len(body) && body[pos] != '\n' {
+			continue
+		}
+		line := body[start:pos]
+		start = pos + 1
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		sp := -1
+		for i := len(line) - 1; i >= 0; i-- {
+			if line[i] == ' ' {
+				sp = i
+				break
+			}
+		}
+		if sp <= 0 {
+			return nil, fmt.Errorf("telemetry: malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: malformed sample in %q: %w", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.regs))
+	for _, reg := range r.regs {
+		out = append(out, reg.name)
+	}
+	sort.Strings(out)
+	return out
+}

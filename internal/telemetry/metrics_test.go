@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("muri_rounds_total", "Scheduling rounds run.")
+	g := r.Gauge("muri_queue_length", "Pending jobs.")
+	h := r.Histogram("muri_jct_seconds", "Job completion time.", 1, 10)
+	r.CounterFunc("muri_evictions_total", "Lease evictions.", func() uint64 { return 7 })
+	r.GaugeFunc("muri_capacity_gpus", "Registered GPUs.", func() float64 { return 16 })
+
+	c.Add(3)
+	g.Set(5)
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP muri_rounds_total Scheduling rounds run.",
+		"# TYPE muri_rounds_total counter",
+		"muri_rounds_total 3",
+		"# TYPE muri_queue_length gauge",
+		"muri_queue_length 5",
+		"# TYPE muri_jct_seconds histogram",
+		`muri_jct_seconds_bucket{le="1"} 1`,
+		`muri_jct_seconds_bucket{le="10"} 2`,
+		`muri_jct_seconds_bucket{le="+Inf"} 3`,
+		"muri_jct_seconds_sum 102.5",
+		"muri_jct_seconds_count 3",
+		"muri_evictions_total 7",
+		"muri_capacity_gpus 16",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	samples, err := ParsePrometheus(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["muri_rounds_total"] != 3 {
+		t.Errorf("parsed rounds = %v", samples["muri_rounds_total"])
+	}
+	if samples[`muri_jct_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("parsed +Inf bucket = %v", samples[`muri_jct_seconds_bucket{le="+Inf"}`])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("muri_test_total", "t").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "muri_test_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	if _, err := ParsePrometheus("not a metric line\n"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCounterGaugeConcurrency(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Value() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Value())
+	}
+	if g.Value() != 4000 {
+		t.Errorf("gauge = %d, want 4000", g.Value())
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// record drives a fixed event sequence into t.
+func record(t *Tracer) {
+	pid := t.Process("group interleaved:1,2")
+	io := t.Thread(pid, "storage")
+	gpu := t.Thread(pid, "gpu")
+	t.Span(pid, io, "job 1: load data", "stage", 0, 5*time.Millisecond, map[string]any{"job": 1})
+	t.Span(pid, gpu, "job 2: propagate", "stage", 0, 4*time.Millisecond, nil)
+	sched := t.Process("scheduler")
+	rounds := t.Thread(sched, "rounds")
+	t.Instant(sched, rounds, "round 1", "round", 6*time.Millisecond, map[string]any{"placed": 1})
+}
+
+func TestTracerExportParseRoundtrip(t *testing.T) {
+	tr := NewTracer(0)
+	record(tr)
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Spans()); got != 2 {
+		t.Errorf("parsed %d spans, want 2", got)
+	}
+	if got := len(f.Instants()); got != 1 {
+		t.Errorf("parsed %d instants, want 1", got)
+	}
+	procs := f.ProcessNames()
+	if len(procs) != 2 {
+		t.Fatalf("parsed %d processes, want 2: %v", len(procs), procs)
+	}
+	threads := f.ThreadNames()
+	if len(threads) != 3 {
+		t.Fatalf("parsed %d threads, want 3: %v", len(threads), threads)
+	}
+	// Timestamps are microseconds: a 5ms span has dur 5000.
+	for _, s := range f.Spans() {
+		if s.Name == "job 1: load data" && s.Dur != 5000 {
+			t.Errorf("span dur = %v µs, want 5000", s.Dur)
+		}
+	}
+}
+
+func TestTracerDeterministicExport(t *testing.T) {
+	a, b := NewTracer(0), NewTracer(0)
+	record(a)
+	record(b)
+	ja, err := a.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Error("identical recording sequences exported different JSON")
+	}
+}
+
+func TestTracerStableIDs(t *testing.T) {
+	tr := NewTracer(0)
+	p1 := tr.Process("a")
+	p2 := tr.Process("b")
+	if p1 == p2 {
+		t.Error("distinct processes share a pid")
+	}
+	if tr.Process("a") != p1 {
+		t.Error("re-registering a process changed its pid")
+	}
+	t1 := tr.Thread(p1, "x")
+	if tr.Thread(p1, "x") != t1 {
+		t.Error("re-registering a thread changed its tid")
+	}
+	if tr.Thread(p2, "x") == 0 {
+		t.Error("thread on second process got tid 0")
+	}
+}
+
+func TestTracerCapDropsAndReports(t *testing.T) {
+	tr := NewTracer(3)
+	pid := tr.Process("p")                                   // 1 metadata event
+	tid := tr.Thread(pid, "t")                               // 2nd
+	tr.Span(pid, tid, "keep", "c", 0, time.Millisecond, nil) // 3rd: at cap
+	tr.Span(pid, tid, "drop", "c", 0, time.Millisecond, nil) // dropped
+	if tr.Len() != 3 {
+		t.Errorf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped())
+	}
+	data, err := tr.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Metadata["droppedEvents"] == nil {
+		t.Error("export of a lossy trace does not report droppedEvents")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	// None of these may panic.
+	pid := tr.Process("p")
+	tid := tr.Thread(pid, "t")
+	tr.Span(pid, tid, "s", "c", 0, time.Second, nil)
+	tr.Instant(pid, tid, "i", "c", 0, nil)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+	if err := tr.Export(&bytes.Buffer{}); err == nil {
+		t.Error("export of nil tracer should error")
+	}
+}
+
+func TestTracerWriteFileSelfChecks(t *testing.T) {
+	tr := NewTracer(0)
+	record(tr)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != tr.Len() {
+		t.Errorf("file has %d events, tracer holds %d", len(f.TraceEvents), tr.Len())
+	}
+}
