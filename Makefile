@@ -40,14 +40,16 @@ bench-sched:
 		-benchtime 3x -benchmem -json . | tee BENCH_sched.json
 
 # End-to-end scale runs: the 2,000- and 5,755-job Philly traces replayed
-# through the event-driven simulator under Muri-L, appended to
-# BENCH_sched.json. Use bench-sched-scale-quick (truncated traces, no
-# record) for a smoke run.
+# through the event-driven simulator under Muri-L, plus the sharded
+# incremental muri-l-scale runs (5,755 jobs at 1 and 4 shards, and the
+# philly-10000 tier), appended to BENCH_sched.json. Use
+# bench-sched-scale-quick (truncated traces, Shards=4, no record) for a
+# smoke run.
 bench-sched-scale:
 	$(GO) test -run '^$$' -bench 'SchedScale' -benchtime 1x -benchmem -timeout 60m -json . | tee -a BENCH_sched.json
 
 bench-sched-scale-quick:
-	$(GO) run ./cmd/murisim -experiment scale -quick
+	$(GO) run ./cmd/murisim -experiment scale -quick -shards 4
 
 # Full evaluation benchmark sweep (regenerates every table/figure once).
 bench:

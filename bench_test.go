@@ -379,6 +379,48 @@ func BenchmarkSchedScale2000(b *testing.B) { benchSchedScale(b, 1) }
 // matcher, and the completion heap at full scale.
 func BenchmarkSchedScale5755(b *testing.B) { benchSchedScale(b, 3) }
 
+// benchSchedScaleSharded is the sharded-incremental counterpart of
+// benchSchedScale: the same end-to-end replay under the muri-l-scale
+// policy (quantized estimates, incremental replay, the given shard
+// count), reporting the planner's reuse counters next to the usual
+// scheduling-path metrics.
+func benchSchedScaleSharded(b *testing.B, gen trace.GenConfig, shards int) {
+	tr := trace.Generate(gen)
+	cfg := sim.DefaultConfig()
+	cfg.EventDriven = true
+	var res sim.Result
+	var plan metrics.ShardStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sched.NewMuriLScale(shards)
+		res = sim.Run(cfg, tr, p)
+		if res.Summary.Jobs != len(tr.Specs) {
+			b.Fatalf("incomplete run: %d/%d jobs", res.Summary.Jobs, len(tr.Specs))
+		}
+		plan = p.PlanStats()
+	}
+	b.ReportMetric(100*plan.ReuseRatio(), "sweep-reuse-%")
+	b.ReportMetric(float64(plan.ShardTasks), "shard-tasks")
+	b.ReportMetric(float64(res.Heap.Peak), "heap-peak")
+	b.ReportMetric(blossom.PoolStats().HitRate(), "pool-hit-rate")
+}
+
+// BenchmarkSchedScale5755Shards{1,4} bracket the shard sweep on the
+// paper's largest trace; Shards1 isolates the incremental/quantization
+// win, Shards4 adds the sharded matching cut.
+func BenchmarkSchedScale5755Shards1(b *testing.B) {
+	benchSchedScaleSharded(b, trace.PhillyConfigs(64)[3], 1)
+}
+
+func BenchmarkSchedScale5755Shards4(b *testing.B) {
+	benchSchedScaleSharded(b, trace.PhillyConfigs(64)[3], 4)
+}
+
+// BenchmarkSchedScale10000Shards4 is the beyond-paper philly-10000 tier.
+func BenchmarkSchedScale10000Shards4(b *testing.B) {
+	benchSchedScaleSharded(b, trace.ScaleConfigs(64)[0], 4)
+}
+
 // BenchmarkAblationStickiness compares Muri-L with and without sticky
 // groups: keeping a surviving group together across intervals avoids the
 // kill/relaunch churn of rematching from scratch.

@@ -13,9 +13,11 @@
 // faults, all.
 //
 // The scale experiment replays the 2,000- and 5,755-job Philly traces
-// end-to-end (event-driven Muri-L) and reports wall-clock time alongside
-// the scheduling-path counters; `-quick` truncates the traces like every
-// other experiment.
+// end-to-end (event-driven Muri-L), sweeps the sharded incremental
+// muri-l-scale policy over -shards (default 1,2,4,8) on the 5,755-job
+// trace, and adds the philly-10000 tier (plus philly-50k with -scale50k).
+// It reports wall-clock time alongside the scheduling-path counters;
+// `-quick` truncates the traces like every other experiment.
 //
 // The faults experiment replays trace 1 under the deterministic failure
 // model at increasing failure rates (machine crashes, transient job
@@ -45,6 +47,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"muri/internal/experiments"
@@ -65,15 +69,25 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 
+		shardsFlag = flag.String("shards", "", "comma-separated shard counts: the scale experiment's sweep (default 1,2,4,8); the first value parameterizes -policy muri-l-scale")
+		scale50k   = flag.Bool("scale50k", false, "scale experiment: include the 50,000-job tier (slow)")
+
 		// Single-run observability mode.
 		traceOut    = flag.String("trace-out", "", "single run: write a Chrome trace-event JSON file (Perfetto)")
 		timelineOut = flag.String("timeline-out", "", "single run: write the job-lifecycle timeline as JSONL")
 		policy      = flag.String("policy", "muri-l", "single run: scheduling policy")
+		incremental = flag.Bool("incremental", false, "single run: attach the incremental planner to the muri policies")
 	)
 	flag.Parse()
 
+	shardList, err := parseShards(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *traceOut != "" || *timelineOut != "" {
-		if err := runSingle(*machines, *gpus, *maxJobs, *policy, *traceOut, *timelineOut); err != nil {
+		if err := runSingle(*machines, *gpus, *maxJobs, *policy, *traceOut, *timelineOut, shardList, *incremental); err != nil {
 			fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
 			os.Exit(1)
 		}
@@ -118,6 +132,8 @@ func main() {
 	if *maxJobs > 0 {
 		opt.MaxJobs = *maxJobs
 	}
+	opt.Shards = shardList
+	opt.Scale50k = *scale50k
 
 	type runner struct {
 		name string
@@ -184,10 +200,26 @@ func main() {
 	}
 }
 
+// parseShards parses a comma-separated shard-count list ("" = default).
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // runSingle simulates the trace1 workload once with instrumentation
 // attached and writes the requested artifacts.
-func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut string) error {
-	p, err := singlePolicy(policyName)
+func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut string, shards []int, incremental bool) error {
+	p, err := singlePolicy(policyName, shards, incremental)
 	if err != nil {
 		return err
 	}
@@ -247,8 +279,20 @@ func writeTimeline(path string, events []sim.Event) error {
 }
 
 // singlePolicy maps a policy name to its constructor (the subset of
-// murisched's table that makes sense for a one-off simulation).
-func singlePolicy(name string) (sched.Policy, error) {
+// murisched's table that makes sense for a one-off simulation). The
+// shards list and incremental flag tune the muri policies.
+func singlePolicy(name string, shards []int, incremental bool) (sched.Policy, error) {
+	shard := 4
+	if len(shards) > 0 {
+		shard = shards[0]
+	}
+	tune := func(m *sched.Muri) *sched.Muri {
+		if incremental {
+			m.Grouping.Shards = shard
+			m.EnableIncremental()
+		}
+		return m
+	}
 	switch name {
 	case "fifo":
 		return sched.FIFO(), nil
@@ -257,9 +301,11 @@ func singlePolicy(name string) (sched.Policy, error) {
 	case "srsf":
 		return sched.SRSF(), nil
 	case "muri-s":
-		return sched.NewMuriS(), nil
+		return tune(sched.NewMuriS()), nil
 	case "muri-l":
-		return sched.NewMuriL(), nil
+		return tune(sched.NewMuriL()), nil
+	case "muri-l-scale":
+		return sched.NewMuriLScale(shard), nil
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}

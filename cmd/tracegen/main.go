@@ -17,13 +17,19 @@ import (
 	"muri/internal/trace"
 )
 
-// presetConfig resolves -preset names to the standard evaluation traces:
-// philly-992, philly-2000, philly-3500, and philly-5755 are the four
-// PhillyConfigs scale points (by job count), seeded and parameterized
-// exactly as the benchmark suite generates them.
+// presetConfigs returns every named preset: the four PhillyConfigs scale
+// points (philly-992 … philly-5755, by job count) plus the sharded-
+// scheduler scale tiers (philly-10000, philly-50k), seeded and
+// parameterized exactly as the benchmark suite generates them.
+func presetConfigs(maxGPUs int) []trace.GenConfig {
+	return append(trace.PhillyConfigs(maxGPUs), trace.ScaleConfigs(maxGPUs)...)
+}
+
+// presetConfig resolves a -preset name, accepting either the config's own
+// name (philly-50k) or the philly-<jobs> form.
 func presetConfig(name string, maxGPUs int) (trace.GenConfig, bool) {
-	for _, cfg := range trace.PhillyConfigs(maxGPUs) {
-		if name == fmt.Sprintf("philly-%d", cfg.Jobs) {
+	for _, cfg := range presetConfigs(maxGPUs) {
+		if name == cfg.Name || name == fmt.Sprintf("philly-%d", cfg.Jobs) {
 			return cfg, true
 		}
 	}
@@ -33,8 +39,12 @@ func presetConfig(name string, maxGPUs int) (trace.GenConfig, bool) {
 // presetNames lists the accepted -preset values.
 func presetNames(maxGPUs int) string {
 	var names []string
-	for _, cfg := range trace.PhillyConfigs(maxGPUs) {
-		names = append(names, fmt.Sprintf("philly-%d", cfg.Jobs))
+	for _, cfg := range presetConfigs(maxGPUs) {
+		if strings.HasPrefix(cfg.Name, "philly-") {
+			names = append(names, cfg.Name)
+		} else {
+			names = append(names, fmt.Sprintf("philly-%d", cfg.Jobs))
+		}
 	}
 	return strings.Join(names, ", ")
 }

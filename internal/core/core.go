@@ -75,6 +75,24 @@ type Config struct {
 	// DefaultSparseNodeThreshold; negative disables sparsification
 	// entirely (exact mode at every scale).
 	SparseNodeThreshold int
+	// Shards splits large buckets into deterministic shards that are
+	// edge-constructed and matched independently (concurrently on
+	// multicore hosts), cutting the quadratic pair-evaluation and cubic
+	// matching cost by the shard count. 0 or 1 keeps whole-bucket
+	// matching; plans at Shards=1 are bit-identical to the serial path
+	// and deterministic at any shard count (DESIGN.md §10).
+	Shards int
+	// ShardNodeThreshold is the bucket node count at or above which
+	// sharding engages; smaller buckets are always matched whole. Zero
+	// uses DefaultShardNodeThreshold.
+	ShardNodeThreshold int
+	// Planner, when non-nil, carries grouping state across scheduling
+	// rounds: an ID-keyed pair-statistics cache, and — with
+	// PlanState.Incremental — per-bucket dirty tracking that replays the
+	// previous round's proposal stream for buckets whose exact signature
+	// is unchanged. Replay is bit-identical to full re-matching by
+	// construction. A PlanState must not be shared between policies.
+	Planner *PlanState
 }
 
 // Sparsification defaults: Philly-scale buckets (≳1,000 single-GPU jobs)
@@ -178,10 +196,16 @@ type node struct {
 	profiles []workload.StageTimes
 	gamma    float64       // cached standalone interleaving efficiency
 	iterTime time.Duration // cached standalone group iteration time
-	// statsDone marks gamma/iterTime as computed. bucketEdges fills the
+	// statsDone marks gamma/iterTime as computed. bucketGraph fills the
 	// stats for every node before fanning out, so the worker pool only
 	// ever reads them.
 	statsDone bool
+	// remSum/remMax cache the summed and maximum remaining-iteration
+	// estimates of the members (JCT gate inputs). Estimates are stable
+	// within one Plan call (RemainingIters must be pure per call), so
+	// they are filled once per node, serially, before the workers run.
+	remSum, remMax int64
+	remDone        bool
 }
 
 func (c Config) maxGroup() int {
@@ -311,39 +335,53 @@ func (c Config) nodeStats(n *node) (gamma float64, iterTime time.Duration) {
 	return n.gamma, n.iterTime
 }
 
-// completionCost returns the summed completion time of a node's members
-// when the node starts at offset `start` and runs with per-iteration time
-// iterTime, plus the node's own finish time (when its last member ends).
-func (c Config) completionCost(n *node, start, iterTime time.Duration) (sum, finish time.Duration) {
+// nodeRemStats fills the node's remaining-iteration aggregates (JCT gate
+// inputs). Like nodeStats, it is computed serially before the edge
+// workers fan out so the parallel phase is read-only on node state.
+func (c Config) nodeRemStats(n *node) {
+	if n.remDone {
+		return
+	}
+	var sum, max int64
 	for _, j := range n.jobs {
 		rem := j.RemainingIterations()
 		if c.RemainingIters != nil {
 			rem = c.RemainingIters(j)
 		}
-		f := start + time.Duration(rem)*iterTime
-		sum += f
-		if f > finish {
-			finish = f
+		sum += rem
+		if rem > max {
+			max = rem
 		}
 	}
-	return sum, finish
+	n.remSum, n.remMax = sum, max
+	n.remDone = true
 }
 
 // jctGain evaluates a merge under GateJCT: the reduction in summed
-// completion time of running u∪v concurrently (iteration time combined)
+// completion time of running u∪v concurrently (iteration time mergedIter)
 // versus running u and v sequentially on one resource set in the better
 // of the two orders. Positive means the merge helps average JCT.
-func (c Config) jctGain(u, v *node) time.Duration {
+//
+// With per-node remaining-iteration aggregates the costs reduce to
+// arithmetic: a node starting at offset s with iteration time t has
+// summed completion len·s + Σrem·t and finishes at s + maxRem·t. The
+// int64 algebra distributes exactly, so this is bit-identical to
+// materializing the merged node and summing member by member — without
+// the two slice allocations per evaluated pair that used to dominate the
+// planning profile.
+func (c Config) jctGain(u, v *node, mergedIter time.Duration) time.Duration {
 	_, tu := c.nodeStats(u)
 	_, tv := c.nodeStats(v)
-	merged := mergeNodes(u, v)
-	tm, _ := c.groupStats(merged.profiles)
-	mergedSum, _ := c.completionCost(merged, 0, tm)
+	c.nodeRemStats(u)
+	c.nodeRemStats(v)
+	mergedSum := time.Duration(u.remSum+v.remSum) * mergedIter
 	// Sequential baseline, both orders.
-	su1, fu := c.completionCost(u, 0, tu)
-	sv1, _ := c.completionCost(v, fu, tv)
-	sv2, fv := c.completionCost(v, 0, tv)
-	su2, _ := c.completionCost(u, fv, tu)
+	fu := time.Duration(u.remMax) * tu
+	fv := time.Duration(v.remMax) * tv
+	su1 := time.Duration(u.remSum) * tu
+	sv1 := time.Duration(len(v.jobs))*fu + time.Duration(v.remSum)*tv
+	sv2 := time.Duration(v.remSum) * tv
+	su2 := time.Duration(len(u.jobs))*fv + time.Duration(u.remSum)*tu
 	seq := su1 + sv1
 	if alt := su2 + sv2; alt < seq {
 		seq = alt
@@ -359,21 +397,56 @@ func mergeNodes(u, v *node) *node {
 	}
 }
 
-// proposal is one Blossom-matched pair a round may accept.
+// proposal is one Blossom-matched pair a sweep may accept.
 type proposal struct {
-	bucket int // GPU requirement of the bucket
-	u, v   int // node indices within the bucket
-	weight float64
-	gain   float64
+	st       *bucketState
+	bucket   int   // GPU requirement of the bucket
+	idx      int32 // position in the bucket's proposal stream this sweep
+	u, v     int   // node indices within the bucket
+	gain     float64
+	accepted bool
 }
 
-// mergeGain evaluates a candidate merge under the configured gate. It
+// pairStats returns the interleaving efficiency and combined iteration
+// time of merging two nodes — the matching edge weight and the JCT gate
+// input — from a single memo lookup. Single-job pairs are served from the
+// planner's ID-keyed cache when one is configured; everything else goes
+// through the canonical-multiset EffCache. All paths compute identical
+// values.
+func (c Config) pairStats(u, v *node) (eff float64, iterTime time.Duration) {
+	nu, nv := len(u.profiles), len(v.profiles)
+	if nu+nv > interleave.MaxGroupSize {
+		return math.Inf(-1), 0
+	}
+	ps := c.Planner
+	single := ps != nil && nu == 1 && nv == 1
+	var key pairKey
+	if single {
+		key, single = makePairKey(u.jobs[0].ID, v.jobs[0].ID)
+	}
+	if single {
+		if e, ok := ps.pairLookup(key); ok {
+			return e.eff, e.iterTime
+		}
+	}
+	var buf [interleave.MaxGroupSize]workload.StageTimes
+	copy(buf[:], u.profiles)
+	copy(buf[nu:], v.profiles)
+	t, eff := c.groupStats(buf[:nu+nv])
+	if single {
+		ps.pairStore(key, pairEntry{iterTime: t, eff: eff})
+	}
+	return eff, t
+}
+
+// mergeGain evaluates a candidate merge under the configured gate, given
+// the pair's efficiency (combined) and combined iteration time. It
 // returns the gate's benefit score (used to rank accepted merges) and
 // whether the merge passes.
-func (c Config) mergeGain(u, v *node, combined float64) (float64, bool) {
+func (c Config) mergeGain(u, v *node, combined float64, mergedIter time.Duration) (float64, bool) {
 	switch c.Gate {
 	case GateJCT:
-		g := c.jctGain(u, v).Seconds()
+		g := c.jctGain(u, v, mergedIter).Seconds()
 		return g, g > 0
 	case GateNone:
 		return combined, true
@@ -399,43 +472,66 @@ func (c Config) edgeWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// bucketEdges builds the gain-gated grouping graph for one round in one
+// bucketEdges is bucketGraph without the gain column, for callers (and
+// tests) that only need the matching graph.
+func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
+	edges, _ := c.bucketGraph(nodes)
+	return edges
+}
+
+// edgeRow is one worker-produced row of the grouping graph: the edges for
+// a fixed u with their gate gains in matching positions.
+type edgeRow struct {
+	edges []blossom.Edge
+	gains []float64
+}
+
+// bucketGraph builds the gain-gated grouping graph for one round in one
 // bucket: edge weights are interleaving efficiencies (paper §4.1), and
-// edges whose merge fails the configured benefit gate are dropped.
+// edges whose merge fails the configured benefit gate are dropped. The
+// gate gain of every surviving edge is returned alongside it, so matched
+// pairs never re-evaluate the gate.
 //
 // The O(n²) weight evaluations fan out over a bounded worker pool, one
 // row (fixed u, all v > u) at a time; rows are concatenated in u order,
 // so the edge list — and therefore the Blossom matching and every
 // downstream schedule — is identical to serial construction.
-func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
+func (c Config) bucketGraph(nodes []*node) ([]blossom.Edge, []float64) {
 	maxSize := c.maxGroup()
 	n := len(nodes)
 	// Precompute node stats serially: mergeGain consults them from the
 	// workers, and filling them up front keeps the parallel phase
 	// read-only on shared node state.
+	jct := c.Gate == GateJCT
 	for _, nd := range nodes {
 		c.nodeStats(nd)
+		if jct {
+			c.nodeRemStats(nd)
+		}
 	}
-	rows := make([][]blossom.Edge, n)
+	rows := make([]edgeRow, n)
 	row := func(u int) {
 		// One exact-capacity allocation per row: append-growth churn on
 		// the hot path costs more than the (short-lived) overshoot for
 		// rows the gate thins out.
 		edges := make([]blossom.Edge, 0, n-u-1)
+		gains := make([]float64, 0, n-u-1)
 		for v := u + 1; v < n; v++ {
 			if len(nodes[u].jobs)+len(nodes[v].jobs) > maxSize {
 				continue
 			}
-			w := c.Cache.PairEfficiency(c.Interleave, nodes[u].profiles, nodes[v].profiles)
+			w, tm := c.pairStats(nodes[u], nodes[v])
 			if math.IsInf(w, -1) || w <= c.MinEfficiency {
 				continue
 			}
-			if _, ok := c.mergeGain(nodes[u], nodes[v], w); !ok {
+			g, ok := c.mergeGain(nodes[u], nodes[v], w, tm)
+			if !ok {
 				continue
 			}
 			edges = append(edges, blossom.Edge{I: u, J: v, Weight: w})
+			gains = append(gains, g)
 		}
-		rows[u] = edges
+		rows[u] = edgeRow{edges: edges, gains: gains}
 	}
 	workers := c.edgeWorkers()
 	if workers > n-1 {
@@ -467,16 +563,18 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 	}
 	total := 0
 	for _, r := range rows {
-		total += len(r)
+		total += len(r.edges)
 	}
 	edges := make([]blossom.Edge, 0, total)
+	gains := make([]float64, 0, total)
 	for _, r := range rows {
-		edges = append(edges, r...)
+		edges = append(edges, r.edges...)
+		gains = append(gains, r.gains...)
 	}
 	if k := c.sparseTopK(); n >= c.sparseThreshold() && k < n-1 {
-		edges = sparsifyEdges(edges, n, k)
+		edges, gains = sparsifyEdges(edges, gains, n, k)
 	}
-	return edges
+	return edges, gains
 }
 
 // sparsifyEdges keeps, for every node, its k highest-weight incident
@@ -484,8 +582,9 @@ func (c Config) bucketEdges(nodes []*node) []blossom.Edge {
 // The survivors keep the input's deterministic u-major (u,v) order, and
 // per-node ranking breaks weight ties by lower edge index — i.e. by
 // lexicographic (u,v) — so the sparse graph is a pure function of the
-// dense one. The input slice is filtered in place.
-func sparsifyEdges(edges []blossom.Edge, n, k int) []blossom.Edge {
+// dense one. The gains column is filtered in lockstep; both input slices
+// are filtered in place.
+func sparsifyEdges(edges []blossom.Edge, gains []float64, n, k int) ([]blossom.Edge, []float64) {
 	// CSR incidence index: deg doubles as the prefix-offset array.
 	deg := make([]int, n+1)
 	for _, e := range edges {
@@ -500,7 +599,7 @@ func sparsifyEdges(edges []blossom.Edge, n, k int) []blossom.Edge {
 		deg[v] += deg[v-1]
 	}
 	if !needSelect {
-		return edges
+		return edges, gains
 	}
 	incident := make([]int32, 2*len(edges))
 	next := make([]int, n)
@@ -552,12 +651,14 @@ func sparsifyEdges(edges []blossom.Edge, n, k int) []blossom.Edge {
 		}
 	}
 	out := edges[:0]
+	outGains := gains[:0]
 	for i := range edges {
 		if keep[i] {
 			out = append(out, edges[i])
+			outGains = append(outGains, gains[i])
 		}
 	}
-	return out
+	return out, outGains
 }
 
 // maxCapacitySweeps bounds the merge passes of capacity-constrained
@@ -596,32 +697,27 @@ func (c Config) roundSetup(buckets map[int][]*node, capacityGPUs int) (keys []in
 // log₂k rounds).
 func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
 	keys, demand, unconstrained, maxRounds := c.roundSetup(buckets, capacityGPUs)
-	for round := 0; round < maxRounds; round++ {
+	states := make([]*bucketState, 0, len(keys))
+	for _, gpus := range keys {
+		states = append(states, &bucketState{gpus: gpus, nodes: buckets[gpus]})
+	}
+	ps := c.Planner
+	if ps != nil {
+		ps.beginPlan(c, states)
+	}
+	var proposals []proposal // reused across sweeps
+	for sweep := 0; sweep < maxRounds; sweep++ {
 		if !unconstrained && demand <= capacityGPUs {
 			break
 		}
-		var proposals []proposal
-		for _, gpus := range keys {
-			nodes := buckets[gpus]
-			if len(nodes) < 2 {
-				continue
-			}
-			edges := c.bucketEdges(nodes)
-			if len(edges) == 0 {
-				continue
-			}
-			mate := blossom.MatchPooled(len(nodes), edges, false)
-			// Recover matched pairs by scanning the edge list: edges are
-			// u-major with I < J and each matched u has exactly one
-			// partner, so this visits pairs in the same ascending-u order
-			// as iterating the mate array, with the weight in hand.
-			for _, e := range edges {
-				if mate[e.I] != e.J {
-					continue
-				}
-				gain, _ := c.mergeGain(nodes[e.I], nodes[e.J], e.Weight)
+		proposals = proposals[:0]
+		for _, st := range states {
+			props := c.sweepProposals(st, sweep)
+			st.lastProps = props
+			for i := range props {
 				proposals = append(proposals, proposal{
-					bucket: gpus, u: e.I, v: e.J, weight: e.Weight, gain: gain,
+					st: st, bucket: st.gpus, idx: int32(i),
+					u: int(props[i].u), v: int(props[i].v), gain: props[i].gain,
 				})
 			}
 		}
@@ -637,41 +733,87 @@ func (c Config) planRounds(buckets map[int][]*node, capacityGPUs int) {
 			return proposals[i].bucket > proposals[k].bucket
 		})
 		accepted := 0
-		merged := make(map[int]map[int]*node) // bucket → index of u → merged node
-		dropped := make(map[int]map[int]bool) // bucket → indices consumed
-		for _, p := range proposals {
+		for i := range proposals {
 			if !unconstrained && demand <= capacityGPUs {
 				break
 			}
-			if merged[p.bucket] == nil {
-				merged[p.bucket] = make(map[int]*node)
-				dropped[p.bucket] = make(map[int]bool)
-			}
-			nodes := buckets[p.bucket]
-			merged[p.bucket][p.u] = mergeNodes(nodes[p.u], nodes[p.v])
-			dropped[p.bucket][p.v] = true
-			demand -= p.bucket
+			proposals[i].accepted = true
+			demand -= proposals[i].bucket
 			accepted++
+		}
+		// Fold the acceptance pattern back into each bucket's stream
+		// before applying merges: the streams feed the fixpoint shortcut,
+		// the replay divergence check, and next round's cache.
+		for i := range proposals {
+			p := &proposals[i]
+			p.st.lastProps[p.idx].accepted = p.accepted
+		}
+		for _, st := range states {
+			c.applySweep(st, sweep, ps != nil)
 		}
 		if accepted == 0 {
 			break
 		}
-		for gpus, reps := range merged {
-			nodes := buckets[gpus]
-			out := make([]*node, 0, len(nodes))
-			for i, n := range nodes {
-				if dropped[gpus][i] {
-					continue
-				}
-				if rep, ok := reps[i]; ok {
-					out = append(out, rep)
-				} else {
-					out = append(out, n)
-				}
+	}
+	if ps != nil {
+		ps.finishPlan(states)
+	}
+	for _, st := range states {
+		buckets[st.gpus] = st.nodes
+	}
+}
+
+// applySweep finishes one bucket's sweep: checks replayed streams for
+// acceptance divergence (a mismatch invalidates the cached history — the
+// bucket's node evolution has left the recorded path, so subsequent
+// sweeps must match fresh), records the stream for next round's cache,
+// and applies the accepted merges with in-place node compaction so the
+// bucket's node slice is reused sweep over sweep.
+func (c Config) applySweep(st *bucketState, sweep int, record bool) {
+	if st.replayed {
+		cached := st.bc.sweeps[sweep].props
+		for i := range st.lastProps {
+			if st.lastProps[i].accepted != cached[i].accepted {
+				st.clean = false
+				break
 			}
-			buckets[gpus] = out
 		}
 	}
+	if record {
+		st.rec = append(st.rec, cachedSweep{props: st.lastProps})
+	}
+	count := 0
+	for _, p := range st.lastProps {
+		if !p.accepted {
+			continue
+		}
+		if count == 0 {
+			st.ensureDropped(len(st.nodes))
+		}
+		// Matched pairs are disjoint, so merges within a sweep commute.
+		st.nodes[p.u] = mergeNodes(st.nodes[p.u], st.nodes[p.v])
+		st.dropped[p.v] = true
+		count++
+	}
+	st.lastAccepted = count
+	if count == 0 {
+		return
+	}
+	st.epoch += uint64(count)
+	out := st.nodes[:0]
+	for i, nd := range st.nodes {
+		if st.dropped[i] {
+			st.dropped[i] = false
+			continue
+		}
+		out = append(out, nd)
+	}
+	// Clear the vacated tail so dropped nodes are not retained by the
+	// backing array for the rest of the plan.
+	for i := len(out); i < len(st.nodes); i++ {
+		st.nodes[i] = nil
+	}
+	st.nodes = out
 }
 
 // greedyRounds is the no-Blossom ablation ("Muri-L w/o Blossom", Figure

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/metrics"
+)
+
+// DefaultPairCacheEntries bounds each generation of the ID-keyed pair
+// statistics cache (~32 B per entry, two generations resident — ~16 MB
+// both generations full). Sized for ~10k concurrently-pending jobs: a
+// generation that evicts while a pair is still being re-evaluated every
+// round turns cheap hits into ~4 µs group-statistics recomputations.
+const DefaultPairCacheEntries = 1 << 18
+
+// pairKey identifies an unordered pair of single-job nodes by member job
+// ID, packed min<<32|max so lookups take the runtime's uint64 fast path
+// (the cache sits on the per-pair hot loop of edge construction). Job
+// profiles are immutable for a job's lifetime, so pair statistics keyed
+// by ID are valid for as long as the PlanState lives — across Blossom
+// sweeps and across scheduling rounds.
+type pairKey uint64
+
+// makePairKey packs an ID pair. ok is false when either ID falls outside
+// [0, 2^32) — such pairs skip the cache rather than risk a collision.
+func makePairKey(a, b job.ID) (pairKey, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	if uint64(a)|uint64(b) >= 1<<32 {
+		return 0, false
+	}
+	return pairKey(uint64(a)<<32 | uint64(b)), true
+}
+
+// pairEntry memoizes the best-ordering statistics of a two-job group:
+// the combined iteration time (the JCT gate's input) and the interleaving
+// efficiency (the matching edge weight).
+type pairEntry struct {
+	iterTime time.Duration
+	eff      float64
+}
+
+// cachedProp is one recorded matching proposal: node indices within the
+// bucket at the sweep it was generated, the edge weight, the gate's gain,
+// and whether the central acceptance loop took it.
+type cachedProp struct {
+	u, v     int32
+	weight   float64
+	gain     float64
+	accepted bool
+}
+
+// cachedSweep is the proposal stream one bucket produced in one sweep.
+type cachedSweep struct {
+	props []cachedProp
+}
+
+// bucketCache is the record of one bucket's previous plan: the signature
+// of its initial nodes and the per-sweep proposal streams with their
+// acceptance pattern. When the next round's signature matches, the bucket
+// replays this stream instead of re-running edge construction and
+// Blossom; replay stays exact because the stream is a pure function of
+// the signature and the (live, re-checked) acceptance history.
+type bucketCache struct {
+	sig    []int64
+	sweeps []cachedSweep
+}
+
+// PlanState carries grouping state across scheduling rounds. It has two
+// independent roles:
+//
+//   - An ID-keyed two-generation pair-statistics cache that fronts the
+//     canonical-multiset EffCache for single-job pairs — the dominant
+//     lookup in sweep 0 — with a far cheaper 16-byte key. Values pass
+//     through the same computation, so cached statistics are
+//     bit-identical to fresh ones and cache state never changes a
+//     scheduling decision.
+//
+//   - With Incremental set, per-bucket dirty tracking: each plan records
+//     every bucket's proposal stream, and the next plan replays the
+//     stream for buckets whose exact signature (member IDs plus the
+//     gate-relevant remaining-iteration estimates, in candidate order)
+//     is unchanged. Any divergence in the central acceptance loop
+//     promotes the bucket back to fresh matching from the next sweep, so
+//     incremental planning is bit-identical to full re-matching by
+//     construction (see DESIGN.md §10).
+//
+// A PlanState must be owned by a single policy instance: the pair cache
+// assumes job IDs are unique and profiles immutable within one run, and
+// the replay cache assumes a consistent Config between rounds. The pair
+// cache is safe for concurrent use by the edge and shard workers; the
+// replay bookkeeping is only touched between parallel sections.
+type PlanState struct {
+	// Incremental enables cross-round bucket replay. Off, the PlanState
+	// still provides the pair cache and telemetry.
+	Incremental bool
+
+	mu  sync.RWMutex
+	max int
+	cur map[pairKey]pairEntry
+	old map[pairKey]pairEntry
+
+	buckets map[int]*bucketCache
+
+	shards int
+	// tasksBy counts matching tasks per shard index. Sized under mu in
+	// beginPlan (between parallel sections); shard workers only Add.
+	tasksBy   []atomic.Uint64
+	rounds    atomic.Uint64
+	replays   atomic.Uint64
+	fixpoints atomic.Uint64
+	fresh     atomic.Uint64
+	tasks     atomic.Uint64
+	pairHits  atomic.Uint64
+	pairMiss  atomic.Uint64
+	marks     atomic.Uint64
+}
+
+// NewPlanState returns a PlanState with the default pair-cache bound and
+// incremental replay enabled.
+func NewPlanState() *PlanState {
+	return &PlanState{
+		Incremental: true,
+		max:         DefaultPairCacheEntries,
+		cur:         make(map[pairKey]pairEntry),
+		buckets:     make(map[int]*bucketCache),
+	}
+}
+
+// pairLookup consults the two-generation pair cache, re-promoting hits
+// found in the old generation (same policy as EffCache).
+func (ps *PlanState) pairLookup(key pairKey) (pairEntry, bool) {
+	ps.mu.RLock()
+	e, ok := ps.cur[key]
+	inOld := false
+	if !ok {
+		e, ok = ps.old[key]
+		inOld = ok
+	}
+	ps.mu.RUnlock()
+	if !ok {
+		ps.pairMiss.Add(1)
+		return pairEntry{}, false
+	}
+	ps.pairHits.Add(1)
+	if inOld {
+		ps.pairStore(key, e)
+	}
+	return e, true
+}
+
+// pairStore inserts into the current generation, rotating generations at
+// the size bound. Writers racing on one key store bit-identical values.
+func (ps *PlanState) pairStore(key pairKey, e pairEntry) {
+	ps.mu.Lock()
+	if len(ps.cur) >= ps.max {
+		ps.old = ps.cur
+		ps.cur = make(map[pairKey]pairEntry, ps.max)
+	}
+	ps.cur[key] = e
+	ps.mu.Unlock()
+}
+
+// ensureShards grows the per-shard task counters to n slots, carrying
+// accumulated counts over. Called only between parallel sections.
+func (ps *PlanState) ensureShards(n int) {
+	ps.mu.Lock()
+	if len(ps.tasksBy) < n {
+		nb := make([]atomic.Uint64, n)
+		for i := range ps.tasksBy {
+			nb[i].Store(ps.tasksBy[i].Load())
+		}
+		ps.tasksBy = nb
+	}
+	ps.mu.Unlock()
+}
+
+// shardTask counts one matching task on shard index s.
+func (ps *PlanState) shardTask(s int) {
+	ps.tasks.Add(1)
+	if s >= 0 && s < len(ps.tasksBy) {
+		ps.tasksBy[s].Add(1)
+	}
+}
+
+// MarkDirty records decision-stream dirty notifications (arrivals,
+// completions, faults, preemptions). The marks are telemetry: the
+// per-bucket signature check is the authoritative dirty test, because
+// remaining-iteration estimates can also change without a decision.
+func (ps *PlanState) MarkDirty(n int) {
+	if ps == nil || n <= 0 {
+		return
+	}
+	ps.marks.Add(uint64(n))
+}
+
+// Stats snapshots the plan-state counters. Safe on a nil receiver.
+func (ps *PlanState) Stats() metrics.ShardStats {
+	if ps == nil {
+		return metrics.ShardStats{}
+	}
+	ps.mu.RLock()
+	entries := len(ps.cur) + len(ps.old)
+	var byShard []uint64
+	if len(ps.tasksBy) > 0 {
+		byShard = make([]uint64, len(ps.tasksBy))
+		for i := range ps.tasksBy {
+			byShard[i] = ps.tasksBy[i].Load()
+		}
+	}
+	ps.mu.RUnlock()
+	return metrics.ShardStats{
+		Shards:         ps.shards,
+		PlanRounds:     ps.rounds.Load(),
+		ReplaySweeps:   ps.replays.Load(),
+		FixpointSweeps: ps.fixpoints.Load(),
+		FreshSweeps:    ps.fresh.Load(),
+		ShardTasks:     ps.tasks.Load(),
+		TasksByShard:   byShard,
+		PairHits:       ps.pairHits.Load(),
+		PairMisses:     ps.pairMiss.Load(),
+		PairEntries:    entries,
+		DirtyMarks:     ps.marks.Load(),
+	}
+}
+
+// sigEqual compares two bucket signatures.
+func sigEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bucketSig flattens the bucket's initial nodes into an exact signature:
+// a length separator per node, then each member's job ID, and — when the
+// JCT gate consumes them — each member's remaining-iteration estimate.
+// Everything else the proposal stream depends on (profiles keyed by job
+// ID, the Config, the shard layout as a function of epoch) is constant
+// across rounds, so an equal signature implies an identical stream.
+func (c Config) bucketSig(st *bucketState) []int64 {
+	jct := c.Gate == GateJCT
+	width := 2
+	if jct {
+		width = 3
+	}
+	sig := make([]int64, 0, width*len(st.nodes))
+	for _, nd := range st.nodes {
+		// Separators are negative; job IDs are non-negative in every
+		// trace and daemon path, so node boundaries are unambiguous.
+		sig = append(sig, -int64(len(nd.jobs))-1)
+		for _, j := range nd.jobs {
+			sig = append(sig, int64(j.ID))
+			if jct {
+				rem := j.RemainingIterations()
+				if c.RemainingIters != nil {
+					rem = c.RemainingIters(j)
+				}
+				sig = append(sig, rem)
+			}
+		}
+	}
+	return sig
+}
+
+// beginPlan binds prior-round bucket caches to this plan's buckets by
+// signature and opens the per-plan bookkeeping.
+func (ps *PlanState) beginPlan(c Config, states []*bucketState) {
+	ps.rounds.Add(1)
+	ps.shards = c.shardCount()
+	if ps.shards > 1 {
+		ps.ensureShards(ps.shards)
+	}
+	if !ps.Incremental {
+		return
+	}
+	for _, st := range states {
+		st.sig = c.bucketSig(st)
+		if bc := ps.buckets[st.gpus]; bc != nil && sigEqual(bc.sig, st.sig) {
+			st.bc = bc
+			st.clean = true
+		}
+	}
+}
+
+// finishPlan installs this plan's recorded streams as the caches for the
+// next round. Buckets absent this round keep their stale entries; the
+// signature check makes them harmless and the map stays small (one entry
+// per distinct GPU requirement).
+func (ps *PlanState) finishPlan(states []*bucketState) {
+	if !ps.Incremental {
+		return
+	}
+	for _, st := range states {
+		ps.buckets[st.gpus] = &bucketCache{sig: st.sig, sweeps: st.rec}
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"muri/internal/blossom"
+	"muri/internal/job"
+)
+
+// Sharding defaults. Sharding cuts the quadratic pair-evaluation and the
+// cubic Blossom cost by the shard count even on one core (S shards of
+// n/S nodes evaluate n²/S pairs instead of n²), and the shard tasks run
+// concurrently on multicore hosts. Small buckets are matched whole:
+// splitting them saves little and costs matching quality.
+const (
+	// DefaultShardNodeThreshold is the bucket node count at or above
+	// which sharding engages.
+	DefaultShardNodeThreshold = 32
+	// minShardNodes caps the shard count so every shard keeps enough
+	// nodes for the matcher to have real choices (quality bound,
+	// TestShardedMatchingWeightBound).
+	minShardNodes = 16
+)
+
+// shardCount resolves the configured shard count.
+func (c Config) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 1
+}
+
+// shardThreshold resolves the bucket size at which sharding engages.
+func (c Config) shardThreshold() int {
+	if c.ShardNodeThreshold > 0 {
+		return c.ShardNodeThreshold
+	}
+	return DefaultShardNodeThreshold
+}
+
+// effectiveShards returns how many shards an n-node bucket is split into:
+// 1 below the threshold, and never so many that shards drop below
+// minShardNodes expected nodes.
+func (c Config) effectiveShards(n int) int {
+	s := c.shardCount()
+	if s <= 1 || n < c.shardThreshold() {
+		return 1
+	}
+	if max := n / minShardNodes; s > max {
+		s = max
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardOf assigns a node (by its minimum member job ID) to a shard with a
+// splitmix64-style hash salted by the bucket's merge epoch. The epoch
+// advances only when merges are applied, so the partition is stable while
+// the bucket is unchanged (preserving the sweep-fixpoint reuse) and
+// reshuffles — the cross-shard rebalance pass — exactly when the node set
+// changes, giving pairs split by the previous partition a chance to meet.
+func shardOf(id job.ID, epoch uint64, shards int) int {
+	x := uint64(id) + 0x9e3779b97f4a7c15*(epoch+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// minJobID returns the smallest member job ID — stable across merges and
+// independent of arrival order, which keeps shard assignment
+// deterministic for a given node set.
+func minJobID(n *node) job.ID {
+	min := n.jobs[0].ID
+	for _, j := range n.jobs[1:] {
+		if j.ID < min {
+			min = j.ID
+		}
+	}
+	return min
+}
+
+// bucketState carries one GPU bucket through the multi-round planner.
+type bucketState struct {
+	gpus  int
+	nodes []*node
+	// epoch counts merges applied to this bucket (the shard rebalance
+	// salt).
+	epoch uint64
+	// dropped is the reusable compaction scratch (satellite: no
+	// per-sweep node-slice reallocation).
+	dropped []bool
+
+	// lastProps / lastAccepted feed the same-plan fixpoint: a sweep that
+	// accepted nothing left the nodes and epoch unchanged, so the next
+	// sweep's proposals are necessarily identical.
+	lastProps    []cachedProp
+	lastAccepted int
+
+	// Cross-round replay bookkeeping (nil planner leaves these unused).
+	sig      []int64
+	bc       *bucketCache
+	clean    bool
+	replayed bool // this sweep came from bc (divergence check applies)
+	rec      []cachedSweep
+}
+
+// ensureDropped sizes the compaction scratch. Flags are reset by the
+// compaction pass itself, so the slice stays all-false between uses.
+func (st *bucketState) ensureDropped(n int) {
+	if cap(st.dropped) < n {
+		st.dropped = make([]bool, n)
+		return
+	}
+	st.dropped = st.dropped[:n]
+}
+
+// copyProps clones a proposal stream with acceptance flags cleared.
+func copyProps(src []cachedProp) []cachedProp {
+	out := make([]cachedProp, len(src))
+	copy(out, src)
+	for i := range out {
+		out[i].accepted = false
+	}
+	return out
+}
+
+// sweepProposals produces one bucket's proposals for one sweep, choosing
+// the cheapest exact source: the prior round's recorded stream (clean
+// bucket, incremental mode), the previous sweep's stream (fixpoint: no
+// merge was accepted, so the bucket is unchanged), or fresh edge
+// construction + matching, sharded when the bucket is large enough.
+func (c Config) sweepProposals(st *bucketState, sweep int) []cachedProp {
+	ps := c.Planner
+	st.replayed = false
+	if st.clean && st.bc != nil && sweep < len(st.bc.sweeps) {
+		st.replayed = true
+		if ps != nil {
+			ps.replays.Add(1)
+		}
+		return copyProps(st.bc.sweeps[sweep].props)
+	}
+	if sweep > 0 && st.lastProps != nil && st.lastAccepted == 0 {
+		if ps != nil {
+			ps.fixpoints.Add(1)
+		}
+		return copyProps(st.lastProps)
+	}
+	// Past the cached history with the bucket since modified: replay can
+	// never resume.
+	st.clean = false
+	if len(st.nodes) < 2 {
+		return nil
+	}
+	if ps != nil {
+		ps.fresh.Add(1)
+	}
+	return c.freshProposals(st)
+}
+
+// freshProposals runs edge construction and Blossom matching over the
+// bucket, splitting large buckets into deterministic shards that run as
+// tasks on a bounded worker pool with indexed result slots (the same
+// determinism-despite-concurrency pattern as the EdgeWorkers pool).
+// Shard streams are concatenated in shard order, so the result is a pure
+// function of (nodes, epoch, config) regardless of worker interleaving,
+// and Shards=1 — or any bucket below the threshold — follows the exact
+// unsharded path.
+func (c Config) freshProposals(st *bucketState) []cachedProp {
+	shards := c.effectiveShards(len(st.nodes))
+	if shards <= 1 {
+		return c.matchNodes(st.nodes, nil)
+	}
+	parts := make([][]int32, shards)
+	guess := len(st.nodes)/shards + 1
+	for s := range parts {
+		parts[s] = make([]int32, 0, guess+guess/2)
+	}
+	for i, nd := range st.nodes {
+		s := shardOf(minJobID(nd), st.epoch, shards)
+		parts[s] = append(parts[s], int32(i))
+	}
+	if ps := c.Planner; ps != nil {
+		for s := 0; s < shards; s++ {
+			ps.shardTask(s)
+		}
+	}
+	// Shard tasks are the unit of parallelism here; force the per-shard
+	// edge construction serial so the pools do not multiply.
+	sub := c
+	sub.EdgeWorkers = 1
+	results := make([][]cachedProp, shards)
+	workers := c.edgeWorkers()
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := range parts {
+			results[s] = sub.matchShard(st.nodes, parts[s])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					results[s] = sub.matchShard(st.nodes, parts[s])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]cachedProp, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return c.rebalance(sub, st, out)
+}
+
+// rebalance is the cheap cross-shard pass that holds the sharded
+// matching weight within the TestShardedMatchingWeightBound quality
+// bound (the epoch reshuffle between sweeps is its long-range
+// complement). Nodes their shard left unmatched, plus the nodes of the
+// weakest eighth of the matched pairs, get one global re-match. The
+// dissolved pairs are themselves a feasible matching of that subset, so
+// max-weight matching over it can only improve the total weight; the
+// subset is an eighth of the bucket, so the extra cost is n²/128 pair
+// evaluations against the n²/2S the shards already paid.
+func (c Config) rebalance(sub Config, st *bucketState, out []cachedProp) []cachedProp {
+	matched := make([]bool, len(st.nodes))
+	for _, p := range out {
+		matched[p.u] = true
+		matched[p.v] = true
+	}
+	var left []int32
+	for i := range st.nodes {
+		if !matched[i] {
+			left = append(left, int32(i))
+		}
+	}
+	if weak := len(out) / 8; weak > 0 {
+		idxs := make([]int, len(out))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			pa, pb := out[idxs[a]], out[idxs[b]]
+			if pa.weight != pb.weight {
+				return pa.weight < pb.weight
+			}
+			if pa.u != pb.u {
+				return pa.u < pb.u
+			}
+			return pa.v < pb.v
+		})
+		drop := make([]bool, len(out))
+		for _, i := range idxs[:weak] {
+			drop[i] = true
+			left = append(left, out[i].u, out[i].v)
+		}
+		kept := make([]cachedProp, 0, len(out)-weak)
+		for i, p := range out {
+			if !drop[i] {
+				kept = append(kept, p)
+			}
+		}
+		out = kept
+	}
+	if len(left) < 2 {
+		return out
+	}
+	sort.Slice(left, func(a, b int) bool { return left[a] < left[b] })
+	return append(out, sub.matchShard(st.nodes, left)...)
+}
+
+// matchShard matches the sub-bucket selected by idx, mapping proposal
+// indices back to bucket-global node indices. idx is ascending, so the
+// u < v orientation survives the mapping.
+func (c Config) matchShard(nodes []*node, idx []int32) []cachedProp {
+	if len(idx) < 2 {
+		return nil
+	}
+	sub := make([]*node, len(idx))
+	for k, i := range idx {
+		sub[k] = nodes[i]
+	}
+	return c.matchNodes(sub, idx)
+}
+
+// matchNodes is the core of one bucket-sweep: build the gain-gated
+// grouping graph, run Blossom, and recover the matched pairs in
+// deterministic u-major edge order with their recorded weights and gains.
+// gidx, when non-nil, maps local node indices to bucket-global ones.
+func (c Config) matchNodes(nodes []*node, gidx []int32) []cachedProp {
+	if len(nodes) < 2 {
+		return nil
+	}
+	edges, gains := c.bucketGraph(nodes)
+	if len(edges) == 0 {
+		return nil
+	}
+	mate := blossom.MatchPooled(len(nodes), edges, false)
+	var props []cachedProp
+	for k, e := range edges {
+		if mate[e.I] != e.J {
+			continue
+		}
+		u, v := int32(e.I), int32(e.J)
+		if gidx != nil {
+			u, v = gidx[u], gidx[v]
+		}
+		props = append(props, cachedProp{u: u, v: v, weight: e.Weight, gain: gains[k]})
+	}
+	return props
+}

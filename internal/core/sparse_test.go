@@ -47,7 +47,7 @@ func TestSparseMatchingWeightBound(t *testing.T) {
 			}
 		}
 		dense := matchedWeight(edges, blossom.MaxWeightMatching(n, edges, false))
-		sp := sparsifyEdges(append([]blossom.Edge(nil), edges...), n, DefaultSparseTopK)
+		sp, _ := sparsifyEdges(append([]blossom.Edge(nil), edges...), make([]float64, len(edges)), n, DefaultSparseTopK)
 		if len(sp) >= len(edges) {
 			t.Fatalf("trial %d: sparsifier kept all %d edges of a dense graph", trial, len(edges))
 		}
@@ -78,7 +78,7 @@ func TestSparsifyEdgesProperties(t *testing.T) {
 			}
 		}
 		in := append([]blossom.Edge(nil), edges...)
-		out := sparsifyEdges(in, n, k)
+		out, _ := sparsifyEdges(in, make([]float64, len(in)), n, k)
 
 		// Rank every node's incident edges exactly as the sparsifier must.
 		topk := make(map[int]bool)

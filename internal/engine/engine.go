@@ -72,6 +72,22 @@ type Config struct {
 	Now func() time.Duration
 }
 
+// DecisionSink is implemented by policies that want the decision stream
+// fed back to them: every emitted decision (launch, kill, requeue,
+// deadletter) describes a change to the candidate set or the running
+// layout, which is exactly what incremental planners track as dirty
+// state (sched.Muri forwards the marks to its core.PlanState).
+type DecisionSink interface {
+	NoteDecisions(n int)
+}
+
+// PlanStatsProvider is implemented by policies that expose incremental/
+// sharded grouping counters (sched.Muri); the engine uses it to emit
+// per-shard trace rows alongside the round instants.
+type PlanStatsProvider interface {
+	PlanStats() metrics.ShardStats
+}
+
 // Record is the engine's lifecycle state for one tracked job.
 type Record struct {
 	// Phase is the job's current lifecycle phase.
@@ -100,6 +116,12 @@ type Engine struct {
 	// lastNow is the clock value of the most recent round, used to stamp
 	// trace events issued between rounds when cfg.Now is unset.
 	lastNow time.Duration
+	// sink is the policy's decision feedback hook, resolved once at
+	// construction (nil when the policy is not a DecisionSink).
+	sink DecisionSink
+	// seenScratch is the queue-rebuild dedup set, reused across rounds so
+	// a steady-state fleet stops paying per-round map growth.
+	seenScratch map[job.ID]bool
 }
 
 // New creates an engine. It panics without a policy.
@@ -110,24 +132,32 @@ func New(cfg Config) *Engine {
 	if cfg.StarvationPatience <= 0 {
 		cfg.StarvationPatience = 5
 	}
+	sink, _ := cfg.Policy.(DecisionSink)
 	return &Engine{
 		cfg:      cfg,
 		prevKeys: make(map[job.ID]string),
 		bypassed: make(map[job.ID]int),
 		records:  make(map[job.ID]*Record),
+		sink:     sink,
 	}
 }
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() metrics.EngineStats { return e.stats }
 
-// emit stamps and publishes one decision.
+// emit stamps and publishes one decision. Every decision also reaches
+// the policy's DecisionSink (when it has one): launches, kills,
+// requeues, and deadletters are exactly the events that invalidate an
+// incremental planner's cached per-bucket state.
 func (e *Engine) emit(d Decision) Decision {
 	e.seq++
 	d.Seq = e.seq
 	e.stats.Decisions++
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(d)
+	}
+	if e.sink != nil {
+		e.sink.NoteDecisions(1)
 	}
 	e.traceDecision(d)
 	return d
@@ -184,6 +214,38 @@ func (e *Engine) traceRound(in Input, out *Outcome) {
 		"kept":       len(out.Kept),
 		"killed":     len(out.Killed),
 		"queue":      e.stats.QueueDepth,
+	})
+	e.traceShards(pid, in.Now)
+}
+
+// traceShards renders the policy's incremental/sharded grouping counters:
+// one row per shard index with its cumulative task count, plus a summary
+// row with the sweep-reuse breakdown.
+func (e *Engine) traceShards(pid int, now time.Duration) {
+	prov, ok := e.cfg.Policy.(PlanStatsProvider)
+	if !ok {
+		return
+	}
+	tr := e.cfg.Tracer
+	st := prov.PlanStats()
+	if st.PlanRounds == 0 {
+		return
+	}
+	for s, n := range st.TasksByShard {
+		tid := tr.Thread(pid, "shard-"+strconv.Itoa(s))
+		tr.Instant(pid, tid, "tasks "+strconv.FormatUint(n, 10), "shard", now, map[string]any{
+			"shard": s,
+			"tasks": n,
+		})
+	}
+	tid := tr.Thread(pid, "plan")
+	tr.Instant(pid, tid, "plan "+strconv.FormatUint(st.PlanRounds, 10), "shard", now, map[string]any{
+		"replay":     st.ReplaySweeps,
+		"fixpoint":   st.FixpointSweeps,
+		"fresh":      st.FreshSweeps,
+		"reuse":      st.ReuseRatio(),
+		"dirtyMarks": st.DirtyMarks,
+		"pairHits":   st.PairHits,
 	})
 }
 
@@ -403,25 +465,44 @@ func (e *Engine) Reconcile(in Input) Outcome {
 		}
 		return false
 	}
-	orderedUnits := make([]sched.Unit, 0, len(units))
-	for _, spec := range units {
-		if starving(spec) {
-			orderedUnits = append(orderedUnits, spec)
+	// Classify each unit once; when nothing is starving (the common round)
+	// the planner's order is already the admission order.
+	orderedUnits := units
+	if len(e.bypassed) > 0 {
+		var starv []bool
+		nStarv := 0
+		for i, spec := range units {
+			if starving(spec) {
+				if starv == nil {
+					starv = make([]bool, len(units))
+				}
+				starv[i] = true
+				nStarv++
+			}
 		}
-	}
-	for _, spec := range units {
-		if !starving(spec) {
-			orderedUnits = append(orderedUnits, spec)
+		if nStarv > 0 {
+			ordered := make([]sched.Unit, 0, len(units))
+			for i, spec := range units {
+				if starv[i] {
+					ordered = append(ordered, spec)
+				}
+			}
+			for i, spec := range units {
+				if !starv[i] {
+					ordered = append(ordered, spec)
+				}
+			}
+			orderedUnits = ordered
 		}
 	}
 
 	// Admission: walk in priority order, admitting units that fit in the
 	// remaining capacity. Units skipped for capacity while a later unit
 	// is admitted accumulate a bypass count.
-	var admitted []sched.Unit
-	var skipped []sched.Unit
+	admitted := make([]sched.Unit, 0, len(orderedUnits))
+	skipped := make([]sched.Unit, 0, len(orderedUnits))
 	bumped := make(map[job.ID]bool)
-	claimed := make(map[job.ID]bool)
+	claimed := make(map[job.ID]bool, len(placedJobs)+len(orderedUnits))
 	for id := range placedJobs {
 		claimed[id] = true
 	}
@@ -557,7 +638,7 @@ func (e *Engine) Reconcile(in Input) Outcome {
 
 	// Rebuild the pending queue and the placement memory.
 	e.prevKeys = make(map[job.ID]string, len(placedJobs))
-	var newPending []*job.Job
+	newPending := make([]*job.Job, 0, len(in.Pending))
 	for _, j := range in.Pending {
 		if !placedJobs[j.ID] {
 			j.State = job.Pending
@@ -566,7 +647,12 @@ func (e *Engine) Reconcile(in Input) Outcome {
 	}
 	if preempt {
 		// Preempted-but-not-replaced jobs rejoin the queue.
-		seen := make(map[job.ID]bool)
+		if e.seenScratch == nil {
+			e.seenScratch = make(map[job.ID]bool, len(newPending))
+		} else {
+			clear(e.seenScratch)
+		}
+		seen := e.seenScratch
 		for _, j := range newPending {
 			seen[j.ID] = true
 		}
@@ -577,9 +663,15 @@ func (e *Engine) Reconcile(in Input) Outcome {
 				seen[j.ID] = true
 			}
 		}
-		sort.SliceStable(newPending, func(i, k int) bool {
+		// The queue is usually already Submit-ordered (pending was sorted
+		// last round and candidates arrive in submit order); a stable sort
+		// of a sorted slice is the identity, so skipping it is exact.
+		bySubmit := func(i, k int) bool {
 			return newPending[i].Submit < newPending[k].Submit
-		})
+		}
+		if !sort.SliceIsSorted(newPending, bySubmit) {
+			sort.SliceStable(newPending, bySubmit)
+		}
 	}
 	out.Pending = newPending
 	remember := func(spec sched.Unit) {

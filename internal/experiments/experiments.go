@@ -38,6 +38,12 @@ type Options struct {
 	MaxJobs int
 	// Traces overrides the default four Philly-like traces.
 	Traces []trace.Trace
+	// Shards overrides the shard counts the Scale experiment sweeps
+	// (default 1, 2, 4, 8).
+	Shards []int
+	// Scale50k includes the 50,000-job tier in the Scale experiment. Off
+	// by default: the run takes minutes even sharded.
+	Scale50k bool
 }
 
 // Full returns the paper-scale options: the 8×8 testbed and the four
@@ -599,61 +605,104 @@ func (o Options) Figure14() ([]Figure14Result, Table) {
 
 // ScaleResult is one end-to-end scale run's outcome: the usual summary
 // plus wall-clock runtime and the scheduling-path performance counters
-// (engine decision activity, completion-heap activity, and Blossom
-// matcher-pool reuse for this run alone).
+// (engine decision activity, completion-heap activity, Blossom
+// matcher-pool reuse, and the sharded/incremental planner counters for
+// this run alone).
 type ScaleResult struct {
 	Trace   string
+	Sched   string
+	Shards  int
 	Jobs    int
 	Wall    time.Duration
 	Summary metrics.Summary
 	Engine  metrics.EngineStats
 	Heap    metrics.HeapStats
 	Pool    metrics.MatcherPoolStats
+	Plan    metrics.ShardStats
 }
 
-// Scale runs Muri-L end-to-end, event-driven, on the 2000-job and
-// 5755-job Philly traces — the stress points for sparse candidate
-// graphs, the pooled matcher, and the heap-driven simulator clock
-// (DESIGN.md §6). `make bench-sched-scale` records the equivalent runs
-// as benchmarks in BENCH_sched.json.
+// scaleShards resolves the shard counts the scale experiment sweeps.
+func (o Options) scaleShards() []int {
+	if len(o.Shards) > 0 {
+		return o.Shards
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// Scale runs Muri-L end-to-end, event-driven, on the scheduling-path
+// stress tiers (DESIGN.md §6, §10): the 2000- and 5755-job Philly traces
+// under the exact paper policy, then the 5755-job trace under the
+// sharded incremental muri-l-scale policy across the shard sweep, and
+// the philly-10000 tier at the largest shard count. With Scale50k set it
+// also runs the 50,000-job tier (muri-l-scale plus a backfill-window
+// cap — an explicit approximation, see sched.Muri.BackfillLimit).
+// `make bench-sched-scale` records the equivalent runs as benchmarks in
+// BENCH_sched.json.
 func (o Options) Scale() ([]ScaleResult, Table) {
 	var out []ScaleResult
 	t := Table{
 		Title:  "Scheduling-path scale runs (Muri-L, event-driven)",
-		Header: []string{"trace", "jobs", "wall", "avg JCT", "makespan", "rounds", "launches", "preempts", "heap peak", "rebuilds", "fixes", "pool hit%"},
+		Header: []string{"trace", "jobs", "sched", "shards", "wall", "avg JCT", "makespan", "rounds", "reuse%", "tasks", "pool hit%"},
 	}
 	all := o.traces()
-	for _, idx := range []int{1, 3} { // trace2: 2,000 jobs; trace4: 5,755 jobs
-		tr := all[idx]
+	scale := trace.ScaleConfigs(o.capacity())
+	shards := o.scaleShards()
+	maxShards := shards[len(shards)-1]
+
+	type run struct {
+		tr     trace.Trace
+		policy *sched.Muri
+	}
+	runs := []run{
+		{all[1], sched.NewMuriL()}, // trace2: 2,000 jobs, exact paper policy
+		{all[3], sched.NewMuriL()}, // trace4: 5,755 jobs, exact paper policy
+	}
+	for _, s := range shards {
+		runs = append(runs, run{all[3], sched.NewMuriLScale(s)})
+	}
+	runs = append(runs, run{trace.Generate(scale[0]), sched.NewMuriLScale(maxShards)})
+	if o.Scale50k {
+		p := sched.NewMuriLScale(maxShards)
+		p.BackfillLimit = 2048
+		runs = append(runs, run{trace.Generate(scale[1]), p})
+	}
+
+	for _, ru := range runs {
 		cfg := o.simConfig()
 		cfg.EventDriven = true
 		before := blossom.PoolStats()
 		start := time.Now()
-		res := sim.Run(cfg, tr, sched.NewMuriL())
+		res := sim.Run(cfg, ru.tr, ru.policy)
 		wall := time.Since(start)
 		after := blossom.PoolStats()
+		plan := ru.policy.PlanStats()
 		r := ScaleResult{
-			Trace:   tr.Name,
+			Trace:   ru.tr.Name,
+			Sched:   ru.policy.Name(),
+			Shards:  ru.policy.Grouping.Shards,
 			Jobs:    res.Summary.Jobs,
 			Wall:    wall,
 			Summary: res.Summary,
 			Engine:  res.Engine,
 			Heap:    res.Heap,
 			Pool:    metrics.MatcherPoolStats{Gets: after.Gets - before.Gets, News: after.News - before.News},
+			Plan:    plan,
+		}
+		if r.Shards == 0 {
+			r.Shards = 1
 		}
 		out = append(out, r)
 		t.Rows = append(t.Rows, []string{
 			r.Trace,
 			strconv.Itoa(r.Jobs),
+			r.Sched,
+			strconv.Itoa(r.Shards),
 			wall.Round(time.Millisecond).String(),
 			r.Summary.AvgJCT.Round(time.Second).String(),
 			r.Summary.Makespan.Round(time.Second).String(),
 			strconv.Itoa(r.Engine.Rounds),
-			strconv.Itoa(r.Engine.Launches),
-			strconv.Itoa(r.Engine.Preemptions),
-			strconv.Itoa(r.Heap.Peak),
-			strconv.FormatUint(r.Heap.Rebuilds, 10),
-			strconv.FormatUint(r.Heap.Fixes, 10),
+			f2(100 * plan.ReuseRatio()),
+			strconv.FormatUint(plan.ShardTasks, 10),
 			f2(100 * r.Pool.HitRate()),
 		})
 	}

@@ -33,7 +33,11 @@ func Summarize(jobs []*job.Job) Summary {
 		return Summary{}
 	}
 	jcts := make([]time.Duration, 0, len(jobs))
-	var sum time.Duration
+	// Mean accumulates quotient and remainder separately: a plain
+	// time.Duration sum overflows int64 nanoseconds around 50k jobs of
+	// multi-hundred-hour JCTs (2⁶³ ns ≈ 292 years total).
+	n := time.Duration(len(jobs))
+	var avg, rem time.Duration
 	minSubmit := jobs[0].Submit
 	var maxFinish time.Duration
 	for _, j := range jobs {
@@ -42,7 +46,8 @@ func Summarize(jobs []*job.Job) Summary {
 		}
 		jct := j.JCT()
 		jcts = append(jcts, jct)
-		sum += jct
+		avg += jct / n
+		rem += jct % n
 		if j.Submit < minSubmit {
 			minSubmit = j.Submit
 		}
@@ -53,7 +58,7 @@ func Summarize(jobs []*job.Job) Summary {
 	sort.Slice(jcts, func(i, k int) bool { return jcts[i] < jcts[k] })
 	return Summary{
 		Jobs:      len(jobs),
-		AvgJCT:    sum / time.Duration(len(jobs)),
+		AvgJCT:    avg + rem/n,
 		Makespan:  maxFinish - minSubmit,
 		P99JCT:    Percentile(jcts, 0.99),
 		MedianJCT: Percentile(jcts, 0.50),
@@ -280,4 +285,49 @@ type HeapStats struct {
 	Rebuilds uint64
 	// Fixes counts single-unit re-positionings after estimate invalidation.
 	Fixes uint64
+}
+
+// ShardStats summarizes sharded and incremental grouping activity (see
+// DESIGN.md §10): how many bucket-sweeps were served from the cross-round
+// replay cache or the same-plan fixpoint shortcut versus matched fresh,
+// how many per-shard matching tasks ran, and how the ID-keyed pair-stat
+// cache performed.
+type ShardStats struct {
+	// Shards is the configured shard count (1 = unsharded).
+	Shards int
+	// PlanRounds counts grouping invocations observed by the plan state.
+	PlanRounds uint64
+	// ReplaySweeps counts bucket-sweeps replayed from the previous
+	// round's recorded proposal stream (clean buckets).
+	ReplaySweeps uint64
+	// FixpointSweeps counts bucket-sweeps reused from the previous sweep
+	// of the same plan (no merge accepted, so the bucket was unchanged).
+	FixpointSweeps uint64
+	// FreshSweeps counts bucket-sweeps that ran edge construction and
+	// Blossom matching.
+	FreshSweeps uint64
+	// ShardTasks counts per-shard matching tasks executed (a fresh sweep
+	// of a sharded bucket contributes its shard count).
+	ShardTasks uint64
+	// TasksByShard breaks ShardTasks down by shard index; the engine's
+	// tracer renders one row per entry. Empty when sharding never engaged.
+	TasksByShard []uint64
+	// PairHits and PairMisses count lookups of the ID-keyed pair
+	// statistics cache.
+	PairHits, PairMisses uint64
+	// PairEntries is the resident pair-cache entry count at snapshot time.
+	PairEntries int
+	// DirtyMarks counts decision-stream dirty notifications forwarded by
+	// the engine (arrivals, completions, faults, preemptions).
+	DirtyMarks uint64
+}
+
+// ReuseRatio is the fraction of bucket-sweeps that avoided fresh
+// matching work.
+func (s ShardStats) ReuseRatio() float64 {
+	total := s.ReplaySweeps + s.FixpointSweeps + s.FreshSweeps
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReplaySweeps+s.FixpointSweeps) / float64(total)
 }

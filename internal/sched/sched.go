@@ -6,12 +6,16 @@
 package sched
 
 import (
+	"math"
+	"math/bits"
+	"slices"
 	"sort"
 	"time"
 
 	"muri/internal/core"
 	"muri/internal/interleave"
 	"muri/internal/job"
+	"muri/internal/metrics"
 	"muri/internal/workload"
 )
 
@@ -270,11 +274,50 @@ type Muri struct {
 	// candidates, reducing preemption/restart churn. Off by default; the
 	// paper's prototype rematches from scratch every interval.
 	Sticky bool
+	// QuantizeEstimates rounds priority keys and (for Muri-L) the
+	// remaining-iteration estimates down to powers of two,
+	// Tiresias-style. Quantized estimates only move when a job crosses a
+	// power-of-two service boundary, so between queue events the grouping
+	// inputs — and therefore the incremental planner's bucket signatures
+	// — hold still instead of drifting every round. Set before the first
+	// Plan call and leave it fixed for the run.
+	QuantizeEstimates bool
+	// BackfillLimit caps how many beyond-budget jobs are appended as
+	// exclusive backfill units (0 = unlimited, the exact behavior).
+	// Massive fleets pay O(queue) per round for backfill units that can
+	// never place; bounding them is an explicit approximation for the
+	// philly-50k scale tier and changes admission behavior only past the
+	// limit.
+	BackfillLimit int
 	// Label overrides the reported name (used by ablation variants).
 	Label string
 
 	// prevGroups remembers the last plan's multi-job groups for Sticky.
 	prevGroups [][]job.ID
+	// scratch is the reusable candidate-ordering buffer.
+	scratch []muriEntry
+}
+
+// EnableIncremental attaches a fresh core.PlanState to the grouping
+// config, turning on the ID-keyed pair cache and cross-round bucket
+// replay (see core.PlanState). Call before the first Plan.
+func (m *Muri) EnableIncremental() {
+	m.Grouping.Planner = core.NewPlanState()
+}
+
+// PlanStats snapshots the incremental/sharded grouping counters (zero
+// when EnableIncremental was never called).
+func (m *Muri) PlanStats() metrics.ShardStats {
+	return m.Grouping.Planner.Stats()
+}
+
+// NoteDecisions implements engine.DecisionSink: scheduling decisions
+// (launches, preemptions, requeues, deadletters) mark the planner dirty.
+// The marks are telemetry — the planner's per-bucket signature check is
+// the authoritative dirty test — but they tie the Decision stream into
+// the incremental machinery and surface how much change each round saw.
+func (m *Muri) NoteDecisions(n int) {
+	m.Grouping.Planner.MarkDirty(n)
 }
 
 // NewMuriS returns Muri with SRSF priorities (known durations). Known
@@ -295,6 +338,7 @@ func NewMuriS() *Muri {
 func NewMuriL() *Muri {
 	cfg := core.DefaultConfig()
 	cfg.Gate = core.GateJCT
+	m := &Muri{KnownDurations: false}
 	cfg.RemainingIters = func(j *job.Job) int64 {
 		// Floor at ten minutes of iterations so brand-new jobs are not
 		// treated as instantaneous.
@@ -305,12 +349,54 @@ func NewMuriL() *Muri {
 				floor = 1
 			}
 		}
-		if j.DoneIterations > floor {
-			return j.DoneIterations
+		est := j.DoneIterations
+		if est < floor {
+			est = floor
 		}
-		return floor
+		if m.QuantizeEstimates {
+			est = quantPow2Int(est)
+		}
+		return est
 	}
-	return &Muri{Grouping: cfg, KnownDurations: false}
+	m.Grouping = cfg
+	return m
+}
+
+// NewMuriLScale returns the Muri-L configuration tuned for very large
+// fleets: quantized Tiresias-style estimates, incremental dirty-bucket
+// re-matching, and bucket sharding (shards ≤ 1 keeps whole-bucket
+// matching). Scheduling behavior differs from plain Muri-L only through
+// the quantized estimates and — at shards > 1 — the sharded matching;
+// both are deterministic, and the incremental replay itself is
+// bit-identical to full re-matching under the same configuration.
+func NewMuriLScale(shards int) *Muri {
+	m := NewMuriL()
+	m.QuantizeEstimates = true
+	m.Grouping.Shards = shards
+	m.EnableIncremental()
+	m.Label = "muri-l-scale"
+	return m
+}
+
+// quantPow2Int rounds a positive count down to a power of two (the
+// Tiresias discretization: values move only at doubling boundaries).
+func quantPow2Int(v int64) int64 {
+	if v <= 1 {
+		return 1
+	}
+	return int64(1) << (63 - bits.LeadingZeros64(uint64(v)))
+}
+
+// quantPow2 rounds a positive priority key down to a power of two by
+// clearing the float's mantissa — a pure bit operation, deterministic on
+// every platform.
+func quantPow2(x float64) float64 {
+	if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	b := math.Float64bits(x)
+	b &^= 1<<52 - 1
+	return math.Float64frombits(b)
 }
 
 // Name implements Policy.
@@ -331,12 +417,6 @@ func (m *Muri) Preemptive() bool { return true }
 // cluster CandidateFactor times over, group with Algorithm 1, and order
 // groups by their best member's priority.
 func (m *Muri) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
-	ordered := append([]*job.Job{}, jobs...)
-	if m.KnownDurations {
-		sortJobs(ordered, func(j *job.Job) float64 { return j.SRSF() })
-	} else {
-		sortJobs(ordered, func(j *job.Job) float64 { return j.LAS2D() })
-	}
 	maxGroup := m.Grouping.MaxGroupSize
 	if maxGroup <= 0 {
 		maxGroup = interleave.MaxGroupSize
@@ -346,6 +426,7 @@ func (m *Muri) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
 		factor = maxGroup
 	}
 	budget := factor * capacity
+	ordered := m.orderJobs(jobs, budget)
 	cut := len(ordered)
 	taken := 0
 	for i, j := range ordered {
@@ -401,8 +482,137 @@ func (m *Muri) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
 	// Jobs beyond the grouping budget still back-fill exclusively: when a
 	// high-priority multi-GPU unit cannot be placed, the spare capacity
 	// must not idle while the queue has work.
-	units = append(units, exclusiveUnits(ordered[cut:])...)
+	backfill := ordered[cut:]
+	if m.BackfillLimit > 0 && len(backfill) > m.BackfillLimit {
+		backfill = backfill[:m.BackfillLimit]
+	}
+	units = append(units, exclusiveUnits(backfill)...)
 	return units
+}
+
+// muriEntry pairs a job with its precomputed priority key so the sort
+// never re-evaluates keys inside the comparator.
+type muriEntry struct {
+	j   *job.Job
+	key float64
+}
+
+// entryLess is the total priority order: key, then submission time, then
+// ID. IDs are unique, so the order has no ties and any comparison sort
+// yields the same permutation as the stable sort it replaces.
+func entryLess(a, b muriEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.j.Submit != b.j.Submit {
+		return a.j.Submit < b.j.Submit
+	}
+	return a.j.ID < b.j.ID
+}
+
+// entryCmp is entryLess as a three-way comparison. It is a total order
+// (job IDs are unique), so sorted output is unique regardless of the
+// sort algorithm's stability.
+func entryCmp(a, b muriEntry) int {
+	switch {
+	case a.key != b.key:
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	case a.j.Submit != b.j.Submit:
+		if a.j.Submit < b.j.Submit {
+			return -1
+		}
+		return 1
+	case a.j.ID != b.j.ID:
+		if a.j.ID < b.j.ID {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// orderJobs returns jobs in priority order. With BackfillLimit set, only
+// the top budget+BackfillLimit jobs (by GPU-demand accounting, every job
+// needs ≥1 GPU) can ever be used, so the rest are partitioned away with
+// quickselect instead of sorted — the result is identical to sorting
+// everything and truncating.
+func (m *Muri) orderJobs(jobs []*job.Job, budget int) []*job.Job {
+	if cap(m.scratch) < len(jobs) {
+		m.scratch = make([]muriEntry, len(jobs))
+	}
+	entries := m.scratch[:len(jobs)]
+	for i, j := range jobs {
+		var key float64
+		if m.KnownDurations {
+			key = j.SRSF()
+		} else {
+			key = j.LAS2D()
+		}
+		if m.QuantizeEstimates {
+			key = quantPow2(key)
+		}
+		entries[i] = muriEntry{j: j, key: key}
+	}
+	n := len(entries)
+	if m.BackfillLimit > 0 {
+		if need := budget + m.BackfillLimit; need < n {
+			selectTop(entries, need)
+			n = need
+		}
+	}
+	// The generic sort swaps 16-byte entries directly; the reflection-based
+	// sort.Slice was the single hottest call in large-fleet profiles.
+	slices.SortFunc(entries[:n], entryCmp)
+	ordered := make([]*job.Job, n)
+	for i := range entries[:n] {
+		ordered[i] = entries[i].j
+	}
+	return ordered
+}
+
+// selectTop partitions entries so the k smallest (by entryLess) occupy
+// entries[:k], in arbitrary order. Median-of-three quickselect; the
+// result set is unique because the order is total.
+func selectTop(entries []muriEntry, k int) {
+	lo, hi := 0, len(entries)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		// Median-of-three pivot, moved to lo.
+		if entryLess(entries[mid], entries[lo]) {
+			entries[mid], entries[lo] = entries[lo], entries[mid]
+		}
+		if entryLess(entries[hi], entries[lo]) {
+			entries[hi], entries[lo] = entries[lo], entries[hi]
+		}
+		if entryLess(entries[hi], entries[mid]) {
+			entries[hi], entries[mid] = entries[mid], entries[hi]
+		}
+		pivot := entries[mid]
+		i, j := lo, hi
+		for i <= j {
+			for entryLess(entries[i], pivot) {
+				i++
+			}
+			for entryLess(pivot, entries[j]) {
+				j--
+			}
+			if i <= j {
+				entries[i], entries[j] = entries[j], entries[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k > i {
+			lo = i
+		} else {
+			return
+		}
+	}
 }
 
 // extractSeeds reconstructs the previous plan's multi-job groups from the

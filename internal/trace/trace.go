@@ -211,6 +211,20 @@ func PhillyConfigs(maxGPUs int) []GenConfig {
 	}
 }
 
+// ScaleConfigs returns the beyond-paper scale tiers used by the sharded
+// scheduler evaluation: 10k jobs at roughly trace4's load, and a 50k
+// fleet at Philly-scale arrival pressure. Both keep the standard Philly
+// size/duration distributions so per-round bucket shapes match the paper
+// tiers and only the population grows.
+func ScaleConfigs(maxGPUs int) []GenConfig {
+	return []GenConfig{
+		{Name: "philly-10000", Jobs: 10000, Seed: 10, MeanInterarrival: 40 * time.Second,
+			MedianDuration: time.Hour, MaxGPUs: maxGPUs},
+		{Name: "philly-50k", Jobs: 50000, Seed: 50, MeanInterarrival: 25 * time.Second,
+			MedianDuration: 45 * time.Minute, MaxGPUs: maxGPUs},
+	}
+}
+
 // BusiestWindow extracts the n consecutive jobs (by submission order)
 // whose submission window is the busiest — the paper's method for picking
 // the 400-job testbed workload from a full trace (§6.1). Submission times
