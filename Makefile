@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-race race bench bench-sched bench-sched-scale bench-sched-scale-quick clean
+.PHONY: check fmt build vet test test-race race bench bench-sched bench-sched-scale bench-sched-scale-quick bench-ingest clean
 
 check: fmt build vet test-race
 
@@ -50,6 +50,13 @@ bench-sched-scale:
 
 bench-sched-scale-quick:
 	$(GO) run ./cmd/murisim -experiment scale -quick -shards 4
+
+# Ingest throughput: a self-hosted daemon loaded at 120k submissions/min
+# over both transports for 30s. Reports p50/p99 submit latency,
+# accept/reject/throttle counts, and engine rounds/sec; the JSON line is
+# appended to BENCH_sched.json next to the scheduling benchmarks.
+bench-ingest:
+	$(GO) run ./cmd/loadgen -selfhost -transport both -rate 120000 -duration 30s -json | tee -a BENCH_sched.json
 
 # Full evaluation benchmark sweep (regenerates every table/figure once).
 bench:

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	murictl -scheduler localhost:7800 submit -model gpt2 -gpus 2 -iters 100000
+//	murictl -scheduler localhost:7800 submit -f jobs.jsonl
 //	murictl -scheduler localhost:7800 status
 //	murictl -scheduler localhost:7800 wait -timeout 10m
 //	murictl -scheduler localhost:7800 fault -job 3
@@ -11,12 +12,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"muri/internal/proto"
 	"muri/internal/server"
 	"muri/internal/trace"
 	"muri/internal/workload"
@@ -51,8 +56,18 @@ func main() {
 		model := fs.String("model", "gpt2", "zoo model name")
 		gpus := fs.Int("gpus", 1, "GPU count")
 		iters := fs.Int64("iters", 10000, "training iterations")
+		tenant := fs.String("tenant", "", "tenant name (rate-limiting key)")
+		file := fs.String("f", "", "batch mode: JSONL file of job specs, one per line (- for stdin)")
+		window := fs.Int("window", 256, "batch mode: max unacked submissions in flight")
 		_ = fs.Parse(args[1:])
-		id, err := c.Submit(*model, *gpus, *iters)
+		if *file != "" {
+			if err := submitBatchFile(c, *file, *window); err != nil {
+				fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		id, err := c.SubmitSpec(proto.JobSpec{Model: *model, GPUs: *gpus, Iterations: *iters, Tenant: *tenant})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
 			os.Exit(1)
@@ -77,6 +92,10 @@ func main() {
 		if e := st.Engine; e != nil {
 			fmt.Printf("engine: rounds=%d decisions=%d launches=%d preemptions=%d requeues=%d queue=%d\n",
 				e.Rounds, e.Decisions, e.Launches, e.Preemptions, e.Requeues, e.QueueDepth)
+		}
+		if in := st.Ingest; in != nil {
+			fmt.Printf("ingest: queued=%d accepted=%d rejected=%d throttled=%d batches=%d\n",
+				in.QueueDepth, in.Accepted, in.Rejected, in.Throttled, in.Batches)
 		}
 		for _, j := range st.Jobs {
 			line := fmt.Sprintf("job %d %-10s %-10s %d/%d iterations", j.ID, j.Model, j.State, j.DoneIterations, j.Iterations)
@@ -185,4 +204,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "murictl: unknown subcommand %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// submitBatchFile streams every spec in a JSONL file over one pipelined
+// connection, printing a per-job accept/reject line. A rejected job
+// does not abort the batch; the exit status reflects whether every job
+// was accepted.
+func submitBatchFile(c *server.Client, path string, window int) error {
+	var r *os.File
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	stream := c.SubmitStream(window)
+	var accepted, rejected int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res := range stream.Results() {
+			if res.Err != nil {
+				rejected++
+				fmt.Printf("job #%d rejected: %v\n", res.Seq, res.Err)
+				continue
+			}
+			accepted++
+			fmt.Printf("job #%d accepted as id %d (%v)\n", res.Seq, res.ID, res.RTT.Round(time.Microsecond))
+		}
+	}()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var sent, badLines int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var spec proto.JobSpec
+		if err := json.Unmarshal([]byte(line), &spec); err != nil {
+			badLines++
+			fmt.Fprintf(os.Stderr, "murictl: skipping malformed line: %v\n", err)
+			continue
+		}
+		if err := stream.Send(spec); err != nil {
+			stream.CloseSend()
+			<-done
+			return fmt.Errorf("submit stream broke after %d sends: %w", sent, err)
+		}
+		sent++
+	}
+	stream.CloseSend()
+	<-done
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := stream.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("batch done: %d accepted, %d rejected, %d malformed lines\n", accepted, rejected, badLines)
+	if rejected > 0 || badLines > 0 {
+		return fmt.Errorf("%d of %d jobs not accepted", rejected+badLines, sent+badLines)
+	}
+	return nil
 }

@@ -6,15 +6,22 @@
 //	murisched -addr :7800 -policy muri-l -interval 6m -timescale 0.001
 //
 // -debug-addr serves the observability surface over HTTP: /metrics
-// (Prometheus text), /debug/vars (expvar), and /debug/pprof/.
+// (Prometheus text), /debug/vars (expvar), /debug/pprof/, and the JSON
+// submission API. -http-addr serves the submission API alone, for
+// deployments that keep ingest and debug on separate ports. SIGINT
+// drains gracefully: new submissions are rejected while running groups
+// finish.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"muri/internal/sched"
@@ -52,8 +59,15 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "scheduling interval (wall time)")
 		timeScale = flag.Float64("timescale", 0.001, "virtual-to-wall time scale forwarded to executors")
 		report    = flag.Duration("report", 200*time.Millisecond, "executor progress-report period")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and the JSON API on this address")
+		httpAddr  = flag.String("http-addr", "", "serve the JSON submission API (/api/v1/...) on this address")
 		logLevel  = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+
+		ingestCap   = flag.Int("ingest-cap", 0, "admission queue capacity (0 = default 65536)")
+		batchDelay  = flag.Duration("max-batch-delay", 0, "linger after a submission before scheduling, to batch arrivals (0 = immediate)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained submission rate in jobs/sec (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant submission burst size (0 = derive from -tenant-rate)")
+		drainWait   = flag.Duration("drain-timeout", time.Minute, "on SIGINT, how long to wait for running groups before closing")
 	)
 	flag.Parse()
 
@@ -68,11 +82,15 @@ func main() {
 		os.Exit(2)
 	}
 	srv := server.New(server.Config{
-		Policy:      p,
-		Interval:    *interval,
-		TimeScale:   *timeScale,
-		ReportEvery: *report,
-		LogLevel:    level,
+		Policy:         p,
+		Interval:       *interval,
+		TimeScale:      *timeScale,
+		ReportEvery:    *report,
+		LogLevel:       level,
+		IngestCapacity: *ingestCap,
+		MaxBatchDelay:  *batchDelay,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 	})
 	if *debugAddr != "" {
 		go func() {
@@ -82,8 +100,32 @@ func main() {
 			}
 		}()
 	}
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("murisched: HTTP submission API on http://%s/api/v1/submit", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, srv.APIHandler()); err != nil {
+				log.Fatalf("murisched: http server: %v", err)
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM drain gracefully: stop admitting, let running groups
+	// finish (up to -drain-timeout), then close.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("murisched: %v: draining (timeout %v)", sig, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Stop(ctx); err != nil {
+			log.Printf("murisched: drain cut short: %v", err)
+		}
+	}()
+
 	log.Printf("murisched: %s policy, listening on %s", p.Name(), *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("murisched: %v", err)
 	}
+	log.Printf("murisched: shut down cleanly")
 }

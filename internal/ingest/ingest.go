@@ -1,0 +1,233 @@
+// Package ingest is the scheduler daemon's admission front door: a
+// bounded FIFO queue between the submission transports (proto stream,
+// HTTP) and the scheduling engine, with per-tenant token-bucket rate
+// limiting and explicit backpressure.
+//
+// The design decouples submission from scheduling: Offer runs under the
+// admitter's own mutex — never the daemon's scheduling lock — so submit
+// latency stays flat even while a planning round is in flight, and the
+// schedule loop drains all arrivals since its last round as one batch
+// (one engine admission round per scheduling interval, not one per job).
+//
+// Determinism: job IDs are assigned monotonically in Offer order under
+// one lock, and Drain returns items strictly FIFO, so the engine admits
+// jobs in exactly the order clients were acked — the decision-stream
+// goldens and the driver-parity test stay byte-identical.
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"muri/internal/proto"
+)
+
+// Typed admission errors. All are *Error values, so errors.Is against
+// these sentinels works and callers can read the wire code and
+// retryability off any of them.
+var (
+	// ErrQueueFull means the bounded queue is at capacity; the request
+	// was well-formed and may be retried after backing off.
+	ErrQueueFull = &Error{Code: proto.CodeQueueFull, Retryable: true,
+		Msg: "ingest: admission queue full"}
+	// ErrThrottled means the tenant is over its token-bucket rate.
+	ErrThrottled = &Error{Code: proto.CodeThrottled, Retryable: true,
+		Msg: "ingest: tenant over submission rate"}
+	// ErrDraining means the scheduler is shutting down.
+	ErrDraining = &Error{Code: proto.CodeDraining, Retryable: false,
+		Msg: "ingest: scheduler draining; not accepting new jobs"}
+)
+
+// Error is a typed admission rejection: Code matches the wire constants
+// in proto, and Retryable tells clients whether backing off and
+// resubmitting can succeed.
+type Error struct {
+	Code      string
+	Retryable bool
+	Msg       string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// FromCode maps a wire rejection code back to its canonical sentinel,
+// so clients can errors.Is against ErrQueueFull et al. across the
+// connection. Unknown codes return nil.
+func FromCode(code string) *Error {
+	switch code {
+	case proto.CodeQueueFull:
+		return ErrQueueFull
+	case proto.CodeThrottled:
+		return ErrThrottled
+	case proto.CodeDraining:
+		return ErrDraining
+	}
+	return nil
+}
+
+// Item is one accepted submission waiting for admission into the
+// engine. Spec.ID is already assigned.
+type Item struct {
+	Spec proto.JobSpec
+	// At is the arrival wall time, for queue-wait accounting and JCT
+	// attribution (a job's clock starts when it was accepted, not when a
+	// batch drain got around to admitting it).
+	At time.Time
+}
+
+// Stats snapshots the admitter's counters.
+type Stats struct {
+	// Accepted counts submissions that entered the queue.
+	Accepted uint64
+	// RejectedFull counts queue-full rejections.
+	RejectedFull uint64
+	// Throttled counts per-tenant rate-limit rejections.
+	Throttled uint64
+	// Batches counts non-empty Drain calls (admission rounds that
+	// admitted at least one job). Accepted/Batches is the average
+	// admission batch size.
+	Batches uint64
+	// Depth is the current queue length.
+	Depth int
+}
+
+// Config parameterizes an Admitter.
+type Config struct {
+	// Capacity bounds the queue; Offer rejects with ErrQueueFull beyond
+	// it. Zero means 65536.
+	Capacity int
+	// TenantRate is each tenant's sustained submission rate in jobs per
+	// second; zero or negative disables rate limiting.
+	TenantRate float64
+	// TenantBurst is each tenant's token-bucket burst size. Zero derives
+	// max(1, TenantRate).
+	TenantBurst int
+	// Now supplies the clock (tests fake it). Nil means time.Now.
+	Now func() time.Time
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admitter is the bounded admission queue. Safe for concurrent use.
+type Admitter struct {
+	mu       sync.Mutex
+	cfg      Config
+	q        []Item
+	nextID   int64
+	draining bool
+	tenants  map[string]*bucket
+	stats    Stats
+}
+
+// New creates an admitter with defaults filled in.
+func New(cfg Config) *Admitter {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 16
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = int(cfg.TenantRate)
+		if cfg.TenantBurst < 1 {
+			cfg.TenantBurst = 1
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Admitter{cfg: cfg, tenants: make(map[string]*bucket)}
+}
+
+// Offer validates admission capacity for one spec, assigns its job ID,
+// and enqueues it. wasEmpty reports whether the queue was empty before
+// this item — the caller's cue to wake the schedule loop exactly once
+// per burst instead of once per job.
+func (a *Admitter) Offer(spec proto.JobSpec) (id int64, wasEmpty bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return 0, false, ErrDraining
+	}
+	now := a.cfg.Now()
+	if a.cfg.TenantRate > 0 && !a.takeTokenLocked(spec.Tenant, now) {
+		a.stats.Throttled++
+		return 0, false, ErrThrottled
+	}
+	if len(a.q) >= a.cfg.Capacity {
+		a.stats.RejectedFull++
+		return 0, false, ErrQueueFull
+	}
+	a.nextID++
+	spec.ID = a.nextID
+	wasEmpty = len(a.q) == 0
+	a.q = append(a.q, Item{Spec: spec, At: now})
+	a.stats.Accepted++
+	return spec.ID, wasEmpty, nil
+}
+
+// takeTokenLocked refills and spends one token from the tenant's
+// bucket, reporting whether one was available. Callers hold a.mu.
+func (a *Admitter) takeTokenLocked(tenant string, now time.Time) bool {
+	b := a.tenants[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(a.cfg.TenantBurst), last: now}
+		a.tenants[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.cfg.TenantRate
+		if max := float64(a.cfg.TenantBurst); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Drain removes and returns up to max queued items in FIFO order (max
+// <= 0 means all). A non-empty drain counts one admission batch.
+func (a *Admitter) Drain(max int) []Item {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.q)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	items := make([]Item, n)
+	copy(items, a.q)
+	rest := copy(a.q, a.q[n:])
+	a.q = a.q[:rest]
+	a.stats.Batches++
+	return items
+}
+
+// Depth returns the current queue length.
+func (a *Admitter) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.q)
+}
+
+// Stats snapshots the counters (Depth included).
+func (a *Admitter) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats
+	st.Depth = len(a.q)
+	return st
+}
+
+// SetDraining flips drain mode: while true, every Offer is rejected
+// with ErrDraining. Items already queued still drain.
+func (a *Admitter) SetDraining(v bool) {
+	a.mu.Lock()
+	a.draining = v
+	a.mu.Unlock()
+}

@@ -1,0 +1,225 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"muri/internal/proto"
+)
+
+func spec(model, tenant string) proto.JobSpec {
+	return proto.JobSpec{Model: model, Tenant: tenant, GPUs: 1, Iterations: 10}
+}
+
+func TestOfferAssignsMonotonicIDsAndDrainsFIFO(t *testing.T) {
+	a := New(Config{Capacity: 100})
+	for i := 0; i < 10; i++ {
+		id, wasEmpty, err := a.Offer(spec(fmt.Sprintf("m%d", i), ""))
+		if err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+		if id != int64(i+1) {
+			t.Fatalf("offer %d assigned id %d, want %d", i, id, i+1)
+		}
+		if wasEmpty != (i == 0) {
+			t.Errorf("offer %d wasEmpty = %v", i, wasEmpty)
+		}
+	}
+	items := a.Drain(0)
+	if len(items) != 10 {
+		t.Fatalf("drained %d items, want 10", len(items))
+	}
+	for i, it := range items {
+		if it.Spec.ID != int64(i+1) || it.Spec.Model != fmt.Sprintf("m%d", i) {
+			t.Errorf("drain[%d] = id %d model %s, want FIFO order", i, it.Spec.ID, it.Spec.Model)
+		}
+	}
+	if a.Depth() != 0 {
+		t.Errorf("depth after full drain = %d", a.Depth())
+	}
+}
+
+func TestPartialDrainKeepsOrder(t *testing.T) {
+	a := New(Config{Capacity: 100})
+	for i := 0; i < 7; i++ {
+		if _, _, err := a.Offer(spec("gpt2", "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := a.Drain(3)
+	second := a.Drain(0)
+	if len(first) != 3 || len(second) != 4 {
+		t.Fatalf("drains = %d + %d, want 3 + 4", len(first), len(second))
+	}
+	want := int64(1)
+	for _, it := range append(first, second...) {
+		if it.Spec.ID != want {
+			t.Fatalf("drain order broke: got id %d, want %d", it.Spec.ID, want)
+		}
+		want++
+	}
+	if st := a.Stats(); st.Batches != 2 {
+		t.Errorf("batches = %d, want 2", st.Batches)
+	}
+}
+
+func TestQueueFullIsTypedAndRetryable(t *testing.T) {
+	a := New(Config{Capacity: 2})
+	for i := 0; i < 2; i++ {
+		if _, _, err := a.Offer(spec("gpt2", "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := a.Offer(spec("gpt2", ""))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity offer returned %v, want ErrQueueFull", err)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || !ie.Retryable || ie.Code != proto.CodeQueueFull {
+		t.Fatalf("queue-full error not typed retryable: %+v", err)
+	}
+	st := a.Stats()
+	if st.Accepted != 2 || st.RejectedFull != 1 {
+		t.Errorf("stats = %+v, want 2 accepted / 1 rejected", st)
+	}
+	// Draining frees capacity again.
+	a.Drain(0)
+	if _, _, err := a.Offer(spec("gpt2", "")); err != nil {
+		t.Errorf("offer after drain: %v", err)
+	}
+}
+
+func TestTenantTokenBucketThrottles(t *testing.T) {
+	now := time.Unix(0, 0)
+	a := New(Config{Capacity: 100, TenantRate: 2, TenantBurst: 3,
+		Now: func() time.Time { return now }})
+	// Burst of 3 passes, the 4th throttles.
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.Offer(spec("gpt2", "team-a")); err != nil {
+			t.Fatalf("burst offer %d: %v", i, err)
+		}
+	}
+	if _, _, err := a.Offer(spec("gpt2", "team-a")); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("over-burst offer returned %v, want ErrThrottled", err)
+	}
+	// Another tenant has its own bucket.
+	if _, _, err := a.Offer(spec("gpt2", "team-b")); err != nil {
+		t.Errorf("other tenant throttled too: %v", err)
+	}
+	// Refill: 1 second at 2 tokens/s buys two more submissions.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if _, _, err := a.Offer(spec("gpt2", "team-a")); err != nil {
+			t.Fatalf("post-refill offer %d: %v", i, err)
+		}
+	}
+	if _, _, err := a.Offer(spec("gpt2", "team-a")); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("third post-refill offer returned %v, want ErrThrottled", err)
+	}
+	if st := a.Stats(); st.Throttled != 2 {
+		t.Errorf("throttled = %d, want 2", st.Throttled)
+	}
+}
+
+func TestThrottleDoesNotSpendQueueCapacity(t *testing.T) {
+	now := time.Unix(0, 0)
+	a := New(Config{Capacity: 1, TenantRate: 1, TenantBurst: 1,
+		Now: func() time.Time { return now }})
+	if _, _, err := a.Offer(spec("gpt2", "t")); err != nil {
+		t.Fatal(err)
+	}
+	// Queue is full AND the tenant is out of tokens: the throttle fires
+	// first and the rejection must not double-count.
+	_, _, err := a.Offer(spec("gpt2", "t"))
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("err = %v, want ErrThrottled", err)
+	}
+	st := a.Stats()
+	if st.RejectedFull != 0 || st.Throttled != 1 {
+		t.Errorf("stats = %+v, want only one throttle", st)
+	}
+}
+
+func TestDrainingRejectsNewOffersButKeepsQueue(t *testing.T) {
+	a := New(Config{Capacity: 10})
+	if _, _, err := a.Offer(spec("gpt2", "")); err != nil {
+		t.Fatal(err)
+	}
+	a.SetDraining(true)
+	_, _, err := a.Offer(spec("gpt2", ""))
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining offer returned %v, want ErrDraining", err)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Retryable {
+		t.Fatalf("draining error should not be retryable: %+v", err)
+	}
+	if got := a.Drain(0); len(got) != 1 {
+		t.Errorf("queued item lost on drain mode: drained %d", len(got))
+	}
+}
+
+func TestFromCodeRoundTrip(t *testing.T) {
+	for _, sentinel := range []*Error{ErrQueueFull, ErrThrottled, ErrDraining} {
+		if got := FromCode(sentinel.Code); got != sentinel {
+			t.Errorf("FromCode(%q) = %v, want sentinel", sentinel.Code, got)
+		}
+	}
+	if got := FromCode("nonsense"); got != nil {
+		t.Errorf("FromCode(nonsense) = %v, want nil", got)
+	}
+}
+
+// TestConcurrentOffersAndDrains hammers the admitter from many
+// goroutines under -race: every accepted ID must come out exactly once,
+// in strictly increasing order within the drain stream.
+func TestConcurrentOffersAndDrains(t *testing.T) {
+	a := New(Config{Capacity: 1 << 14})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, _, err := a.Offer(spec("gpt2", fmt.Sprintf("t%d", w))); err != nil {
+					t.Errorf("offer: %v", err) // capacity is ample; nothing may fail
+				}
+			}
+		}(w)
+	}
+	// Drain concurrently with the offers, then sweep the remainder.
+	var drained []Item
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(drained) < workers*per {
+			items := a.Drain(64)
+			if len(items) == 0 {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			drained = append(drained, items...)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(drained) != workers*per {
+		t.Fatalf("drained %d items, accepted %d", len(drained), workers*per)
+	}
+	seen := make(map[int64]bool, len(drained))
+	prev := int64(0)
+	for _, it := range drained {
+		if seen[it.Spec.ID] {
+			t.Fatalf("id %d drained twice", it.Spec.ID)
+		}
+		seen[it.Spec.ID] = true
+		if it.Spec.ID <= prev {
+			t.Fatalf("drain order not increasing: %d after %d", it.Spec.ID, prev)
+		}
+		prev = it.Spec.ID
+	}
+}

@@ -37,6 +37,8 @@ const (
 	// Client → scheduler.
 	TypeSubmit         Type = "submit"
 	TypeSubmitAck      Type = "submit_ack"
+	TypeSubmitBatch    Type = "submit_batch"     // many jobs in one frame
+	TypeSubmitBatchAck Type = "submit_batch_ack" // per-job results, in order
 	TypeStatus         Type = "status"
 	TypeStatusAck      Type = "status_ack"
 	TypeInjectFault    Type = "inject_fault"     // chaos: fail a job or machine
@@ -60,6 +62,9 @@ type JobSpec struct {
 	DoneIterations int64 `json:"done_iterations"`
 	// GPUs is the job's GPU requirement.
 	GPUs int `json:"gpus"`
+	// Tenant names the submitting principal for per-tenant admission
+	// rate limiting. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Register announces an executor and its machine inventory.
@@ -157,12 +162,66 @@ type Profiled struct {
 // Submit is a client request to enqueue a job.
 type Submit struct {
 	Job JobSpec `json:"job"`
+	// Seq is an optional client-chosen sequence number echoed in the
+	// ack, so pipelined streams can correlate acks with requests.
+	Seq uint64 `json:"seq,omitempty"`
 }
+
+// Admission reject codes carried in SubmitAck.Code / SubmitResult.Code.
+// Retryable codes mean the request was well-formed and may be resubmitted
+// after backing off; non-retryable codes mean the spec itself is bad.
+const (
+	CodeInvalid   = "invalid"    // malformed spec (unknown model, bad counts)
+	CodeQueueFull = "queue_full" // admission queue at capacity; retry later
+	CodeThrottled = "throttled"  // tenant over its token-bucket rate; retry later
+	CodeDraining  = "draining"   // scheduler shutting down; retry elsewhere
+)
 
 // SubmitAck confirms a submission and returns the assigned ID.
 type SubmitAck struct {
 	ID  int64  `json:"id"`
 	Err string `json:"err,omitempty"`
+	// Seq echoes the request's sequence number for pipelined streams.
+	Seq uint64 `json:"seq,omitempty"`
+	// Code classifies a rejection (one of the Code* constants);
+	// Retryable reports whether resubmitting later can succeed.
+	Code      string `json:"code,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// SubmitBatch enqueues many jobs in one frame: arrivals within one
+// scheduling interval cost one admission round, not N (batched ingest).
+type SubmitBatch struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// SubmitResult is one job's admission outcome inside a batch ack (and
+// the HTTP batch response). Results are in request order.
+type SubmitResult struct {
+	ID        int64  `json:"id,omitempty"`
+	Err       string `json:"err,omitempty"`
+	Code      string `json:"code,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// SubmitBatchAck carries per-job results for a SubmitBatch, in order.
+type SubmitBatchAck struct {
+	Results []SubmitResult `json:"results"`
+}
+
+// HTTPSubmitRequest is the JSON body of POST /api/v1/submit.
+type HTTPSubmitRequest struct {
+	Job JobSpec `json:"job"`
+}
+
+// HTTPBatchRequest is the JSON body of POST /api/v1/submit/batch.
+type HTTPBatchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// HTTPBatchResponse is the JSON body answering a batch submission.
+type HTTPBatchResponse struct {
+	Results []SubmitResult `json:"results"`
 }
 
 // Status asks for the scheduler's current state.
@@ -178,8 +237,21 @@ type StatusAck struct {
 	DeadLetter int            `json:"dead_letter,omitempty"`
 	Faults     *FaultSummary  `json:"faults,omitempty"`
 	Engine     *EngineSummary `json:"engine,omitempty"`
+	Ingest     *IngestSummary `json:"ingest,omitempty"`
 	Jobs       []JobStatus    `json:"jobs,omitempty"`
 	Extra      map[string]any `json:"extra,omitempty"`
+}
+
+// IngestSummary mirrors the admission front door's counters on the wire:
+// queue depth, accept/reject/throttle totals, and how many batched drain
+// rounds admitted the accepted jobs (accepted/batches is the average
+// admission batch size — the per-job-wakeup collapse factor).
+type IngestSummary struct {
+	QueueDepth int `json:"queue_depth"`
+	Accepted   int `json:"accepted"`
+	Rejected   int `json:"rejected,omitempty"`
+	Throttled  int `json:"throttled,omitempty"`
+	Batches    int `json:"batches,omitempty"`
 }
 
 // EngineSummary mirrors the scheduling engine's counters on the wire
@@ -262,6 +334,8 @@ type Message struct {
 	Profiled       *Profiled       `json:"profiled,omitempty"`
 	Submit         *Submit         `json:"submit,omitempty"`
 	SubmitAck      *SubmitAck      `json:"submit_ack,omitempty"`
+	SubmitBatch    *SubmitBatch    `json:"submit_batch,omitempty"`
+	SubmitBatchAck *SubmitBatchAck `json:"submit_batch_ack,omitempty"`
 	Status         *Status         `json:"status,omitempty"`
 	StatusAck      *StatusAck      `json:"status_ack,omitempty"`
 	InjectFault    *InjectFault    `json:"inject_fault,omitempty"`

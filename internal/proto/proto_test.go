@@ -24,8 +24,17 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: TypeFault, Fault: &Fault{GroupID: 7, JobID: 1, Error: "cuda oom"}},
 		{Type: TypeProfileReq, ProfileReq: &ProfileReq{Model: "bert", Iterations: 20, TimeScale: 0.001}},
 		{Type: TypeProfiled, Profiled: &Profiled{Model: "bert", Stages: [4]time.Duration{1, 2, 3, 4}}},
-		{Type: TypeSubmit, Submit: &Submit{Job: JobSpec{ID: 9, Model: "a2c"}}},
-		{Type: TypeSubmitAck, SubmitAck: &SubmitAck{ID: 9}},
+		{Type: TypeSubmit, Submit: &Submit{Job: JobSpec{ID: 9, Model: "a2c", Tenant: "team-a"}, Seq: 3}},
+		{Type: TypeSubmitAck, SubmitAck: &SubmitAck{ID: 9, Seq: 3}},
+		{Type: TypeSubmitAck, SubmitAck: &SubmitAck{Err: "queue full", Code: CodeQueueFull, Retryable: true}},
+		{Type: TypeSubmitBatch, SubmitBatch: &SubmitBatch{Jobs: []JobSpec{
+			{Model: "gpt2", GPUs: 1, Iterations: 10},
+			{Model: "bert", GPUs: 2, Iterations: 20, Tenant: "team-b"},
+		}}},
+		{Type: TypeSubmitBatchAck, SubmitBatchAck: &SubmitBatchAck{Results: []SubmitResult{
+			{ID: 10},
+			{Err: "over rate", Code: CodeThrottled, Retryable: true},
+		}}},
 		{Type: TypeStatus, Status: &Status{}},
 		{Type: TypeStatusAck, StatusAck: &StatusAck{Pending: 1, Running: 2, Done: 3}},
 		{Type: TypeTrace, Trace: &TraceReq{}},

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"muri/internal/ingest"
 	"muri/internal/proto"
 	"muri/internal/trace"
 	"muri/internal/workload"
@@ -50,10 +51,45 @@ func (c *Client) SubmitSpec(spec proto.JobSpec) (int64, error) {
 	if reply.Type != proto.TypeSubmitAck || reply.SubmitAck == nil {
 		return 0, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
-	if reply.SubmitAck.Err != "" {
-		return 0, fmt.Errorf("client: submit rejected: %s", reply.SubmitAck.Err)
+	if err := submitErr(reply.SubmitAck.Err, reply.SubmitAck.Code); err != nil {
+		return 0, err
 	}
 	return reply.SubmitAck.ID, nil
+}
+
+// submitErr reconstructs a client-side error from a wire rejection.
+// Known admission codes come back as their canonical sentinels, so
+// errors.Is(err, ingest.ErrQueueFull) works across the connection.
+func submitErr(msg, code string) error {
+	if msg == "" {
+		return nil
+	}
+	if sentinel := ingest.FromCode(code); sentinel != nil {
+		return sentinel
+	}
+	return fmt.Errorf("client: submit rejected: %s", msg)
+}
+
+// SubmitBatch submits many jobs in one round trip. The ack carries one
+// result per job, in order; per-job rejections live in the results, so
+// a non-nil error means the whole exchange failed.
+func (c *Client) SubmitBatch(specs []proto.JobSpec) ([]proto.SubmitResult, error) {
+	msg := &proto.Message{Type: proto.TypeSubmitBatch,
+		SubmitBatch: &proto.SubmitBatch{Jobs: specs}}
+	if err := c.codec.Write(msg); err != nil {
+		return nil, err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != proto.TypeSubmitBatchAck || reply.SubmitBatchAck == nil {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if got := len(reply.SubmitBatchAck.Results); got != len(specs) {
+		return nil, fmt.Errorf("client: batch ack carries %d results for %d jobs", got, len(specs))
+	}
+	return reply.SubmitBatchAck.Results, nil
 }
 
 // Status fetches the scheduler's state snapshot.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"muri/internal/engine"
+	"muri/internal/ingest"
 	"muri/internal/job"
 	"muri/internal/metrics"
 	"muri/internal/proto"
@@ -81,6 +82,26 @@ type Config struct {
 	// rounds and decisions on the virtual clock, snapshotted by the
 	// TraceSnapshot RPC). Zero uses telemetry.DefaultMaxEvents.
 	TraceEvents int
+	// IngestCapacity bounds the admission queue between the submission
+	// front door and the scheduling engine; beyond it submissions are
+	// rejected with a typed, retryable queue-full error instead of
+	// blocking a connection handler. Zero means 65536.
+	IngestCapacity int
+	// IngestMaxBatch caps how many queued submissions one scheduling
+	// round admits (the rest carry to the next round). Zero means
+	// unlimited: every arrival since the last round joins one batch.
+	IngestMaxBatch int
+	// MaxBatchDelay is how long the schedule loop lingers after an
+	// event wakeup to coalesce more arrivals into the same admission
+	// round. Zero runs the round immediately; small values (1–10ms)
+	// trade bounded extra latency for larger admission batches under
+	// trickle load.
+	MaxBatchDelay time.Duration
+	// TenantRate is each tenant's sustained submission rate in jobs per
+	// second (token bucket keyed on JobSpec.Tenant); zero disables rate
+	// limiting. TenantBurst is the bucket depth (zero derives it).
+	TenantRate  float64
+	TenantBurst int
 }
 
 // jobState tracks one submitted job's daemon-side bookkeeping. The
@@ -159,7 +180,6 @@ type Server struct {
 	// profiling maps each model with an in-flight dry run to the executor
 	// serving it, so an eviction can release the request for a retry.
 	profiling map[string]string
-	nextJob   int64
 	nextGroup int64
 	started   time.Time
 	closed    bool
@@ -189,6 +209,14 @@ type Server struct {
 	// jctHist observes each finished job's virtual JCT in seconds;
 	// roundHist observes each scheduling round's wall latency in seconds.
 	jctHist, roundHist *telemetry.Histogram
+
+	// adm is the admission front door: submissions queue here under the
+	// admitter's own lock (never s.mu, so submit latency stays flat even
+	// mid-round) and the schedule loop drains them in batches.
+	adm *ingest.Admitter
+	// batchHist observes admission batch sizes; submitWaitHist observes
+	// each job's queue wait (accept → engine admission) in seconds.
+	batchHist, submitWaitHist *telemetry.Histogram
 }
 
 // New creates a daemon with defaults filled in.
@@ -240,6 +268,11 @@ func New(cfg Config) *Server {
 		kick:         make(chan struct{}, 1),
 		started:      time.Now(),
 		tracer:       telemetry.NewTracer(cfg.TraceEvents),
+		adm: ingest.New(ingest.Config{
+			Capacity:    cfg.IngestCapacity,
+			TenantRate:  cfg.TenantRate,
+			TenantBurst: cfg.TenantBurst,
+		}),
 	}
 	sink := cfg.Logf
 	if sink == nil {
@@ -332,6 +365,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.adm.SetDraining(true)
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -359,6 +393,7 @@ func (s *Server) Stop(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	s.adm.SetDraining(true)
 	s.mu.Unlock()
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
@@ -390,7 +425,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	switch m.Type {
 	case proto.TypeRegister:
 		s.handleExecutor(conn, codec, m.Register)
-	case proto.TypeSubmit, proto.TypeStatus, proto.TypeInjectFault, proto.TypeTrace:
+	case proto.TypeSubmit, proto.TypeSubmitBatch, proto.TypeStatus, proto.TypeInjectFault, proto.TypeTrace:
 		s.handleClient(conn, codec, m)
 	default:
 		s.log.Warn("unexpected first message", "type", m.Type)
@@ -514,11 +549,19 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 		switch m.Type {
 		case proto.TypeSubmit:
 			id, err := s.submit(m.Submit.Job)
-			ack := proto.SubmitAck{ID: id}
-			if err != nil {
-				ack.Err = err.Error()
-			}
+			ack := submitAck(id, err)
+			ack.Seq = m.Submit.Seq
 			reply = proto.Message{Type: proto.TypeSubmitAck, SubmitAck: &ack}
+		case proto.TypeSubmitBatch:
+			results := make([]proto.SubmitResult, len(m.SubmitBatch.Jobs))
+			for i, spec := range m.SubmitBatch.Jobs {
+				id, err := s.submit(spec)
+				ack := submitAck(id, err)
+				results[i] = proto.SubmitResult{ID: ack.ID, Err: ack.Err,
+					Code: ack.Code, Retryable: ack.Retryable}
+			}
+			reply = proto.Message{Type: proto.TypeSubmitBatchAck,
+				SubmitBatchAck: &proto.SubmitBatchAck{Results: results}}
 		case proto.TypeStatus:
 			st := s.status()
 			reply = proto.Message{Type: proto.TypeStatusAck, StatusAck: &st}
@@ -552,9 +595,12 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 	}
 }
 
-// submit enqueues a job. Stage durations come from, in order: the
-// submitted spec, the profile cache, or a dry-run profiling round on an
-// executor (the job waits in "profiling" state meanwhile).
+// submit validates a spec and offers it to the admission queue. It
+// deliberately never takes s.mu: the heavy lifting — engine tracking,
+// job construction, profile resolution — happens in batched drains at
+// the top of each scheduling round, so the front door stays fast even
+// while a planning round holds the scheduling lock. The returned ID is
+// final (assigned in arrival order under the admitter's lock).
 func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 	if spec.Iterations <= 0 {
 		return 0, errors.New("server: job needs a positive iteration count")
@@ -562,18 +608,74 @@ func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 	if spec.GPUs <= 0 {
 		spec.GPUs = 1
 	}
-	m, err := workload.ByName(spec.Model)
+	if _, err := workload.ByName(spec.Model); err != nil {
+		return 0, err
+	}
+	id, wasEmpty, err := s.adm.Offer(spec)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining || s.closed {
-		return 0, errors.New("server: draining; not accepting new jobs")
+	// One wakeup per burst: only the offer that found the queue empty
+	// kicks the schedule loop; everything arriving before the next drain
+	// rides the same admission round.
+	if wasEmpty {
+		s.kickSchedule()
 	}
-	s.nextJob++
-	spec.ID = s.nextJob
-	js := &jobState{spec: spec, submittedAt: time.Now(), lastSeen: time.Now()}
+	return id, nil
+}
+
+// submitAck maps a submit outcome onto the wire ack, carrying the typed
+// rejection code and retryability for backpressure-aware clients.
+func submitAck(id int64, err error) proto.SubmitAck {
+	ack := proto.SubmitAck{ID: id}
+	if err == nil {
+		return ack
+	}
+	ack.Err = err.Error()
+	var ie *ingest.Error
+	if errors.As(err, &ie) {
+		ack.Code = ie.Code
+		ack.Retryable = ie.Retryable
+	} else {
+		ack.Code = proto.CodeInvalid
+	}
+	return ack
+}
+
+// drainIngestLocked admits every queued submission (up to
+// cfg.IngestMaxBatch) into the engine as one batch. Items drain FIFO,
+// so engine admission order equals ack order — the determinism the
+// decision-stream goldens pin. Callers hold s.mu.
+func (s *Server) drainIngestLocked() {
+	items := s.adm.Drain(s.cfg.IngestMaxBatch)
+	if len(items) == 0 {
+		return
+	}
+	now := time.Now()
+	for i := range items {
+		s.admitLocked(&items[i], now)
+	}
+	s.batchHist.Observe(float64(len(items)))
+	if s.adm.Depth() > 0 {
+		// A bounded batch left items behind; run another round promptly.
+		s.kickSchedule()
+	}
+}
+
+// admitLocked materializes one accepted submission: stage durations come
+// from, in order, the submitted spec, the profile cache, or a dry-run
+// profiling round on an executor (the job waits in "profiling" state
+// meanwhile). Callers hold s.mu.
+func (s *Server) admitLocked(it *ingest.Item, now time.Time) {
+	spec := it.Spec
+	m, err := workload.ByName(spec.Model)
+	if err != nil {
+		// Validated at submit; unreachable unless the zoo changes between
+		// accept and drain.
+		s.log.Error("admitted job has unknown model", "job", spec.ID, "model", spec.Model)
+		return
+	}
+	js := &jobState{spec: spec, submittedAt: it.At, lastSeen: now}
 	var stages [4]time.Duration
 	phase := engine.PhasePending
 	switch {
@@ -594,8 +696,7 @@ func (s *Server) submit(spec proto.JobSpec) (int64, error) {
 	js.job = job.New(job.ID(spec.ID), model, spec.GPUs, spec.Iterations, s.virtualNowLocked())
 	js.job.DoneIterations = spec.DoneIterations
 	s.jobs[spec.ID] = js
-	s.kickSchedule()
-	return spec.ID, nil
+	s.submitWaitHist.Observe(now.Sub(it.At).Seconds())
 }
 
 // requestProfileLocked asks any executor to dry-run the model. Callers
@@ -759,7 +860,9 @@ func (s *Server) detachFromGroupLocked(groupID, jobID int64) {
 
 // scheduleLoop replans periodically and on events: the paper's scheduler
 // "is periodically invoked on events like job arrival and job
-// completion" (§3). Event kicks coalesce through a 1-slot channel.
+// completion" (§3). Event kicks coalesce through a 1-slot channel, and —
+// when MaxBatchDelay is set — the loop lingers briefly after a kick so a
+// trickle of arrivals lands in one admission round instead of N.
 func (s *Server) scheduleLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.Interval)
@@ -768,6 +871,17 @@ func (s *Server) scheduleLoop() {
 		select {
 		case <-t.C:
 		case <-s.kick:
+			if d := s.cfg.MaxBatchDelay; d > 0 {
+				linger := time.NewTimer(d)
+			coalesce:
+				for {
+					select {
+					case <-s.kick: // absorb further kicks into this round
+					case <-linger.C:
+						break coalesce
+					}
+				}
+			}
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -789,6 +903,9 @@ func (s *Server) kickSchedule() {
 
 // scheduleLocked runs one scheduling round. Callers hold s.mu.
 func (s *Server) scheduleLocked() {
+	// Batched admission first: every submission accepted since the last
+	// round joins the candidate set in one engine round.
+	s.drainIngestLocked()
 	// Worker-monitor liveness: evict executors whose lease expired. A
 	// hung machine keeps its TCP connection open, so read errors alone
 	// are not enough.
@@ -1080,6 +1197,14 @@ func (s *Server) status() proto.StatusAck {
 			Requeues:     s.faults.Requeues,
 			DeadLettered: s.faults.DeadLettered,
 		}
+	}
+	ist := s.adm.Stats()
+	ack.Ingest = &proto.IngestSummary{
+		QueueDepth: ist.Depth,
+		Accepted:   int(ist.Accepted),
+		Rejected:   int(ist.RejectedFull),
+		Throttled:  int(ist.Throttled),
+		Batches:    int(ist.Batches),
 	}
 	es := s.eng.Stats()
 	ack.Engine = &proto.EngineSummary{

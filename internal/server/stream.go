@@ -1,0 +1,149 @@
+// Pipelined submission streaming: one persistent connection carrying
+// many submit frames without waiting for each ack. The server answers
+// acks strictly in frame order, so the client keeps a FIFO window of
+// in-flight sends and a background reader matches acks back to them.
+// Throughput is bounded by bandwidth and the window, not by round-trip
+// latency — the difference between ~1/RTT jobs per second and the
+// ≥100k/min the load generator drives.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"muri/internal/proto"
+)
+
+// StreamResult is one job's outcome on a submission stream.
+type StreamResult struct {
+	// Seq is the client-assigned sequence number of the submit frame
+	// this result answers (1-based, in send order).
+	Seq uint64
+	// ID is the assigned job ID on acceptance.
+	ID int64
+	// Err is nil on acceptance; admission rejections come back as the
+	// typed ingest sentinels (errors.Is against ingest.ErrQueueFull,
+	// ErrThrottled, ErrDraining works).
+	Err error
+	// RTT is the submit→ack round trip as seen by this client.
+	RTT time.Duration
+}
+
+// inflight tracks one unacked submit frame.
+type inflight struct {
+	seq    uint64
+	sentAt time.Time
+}
+
+// SubmitStream pipelines submissions over the client's connection.
+// Send and CloseSend must come from one goroutine; Results is consumed
+// concurrently. While a stream is open the connection speaks only
+// submits — use a separate Client for status polling.
+type SubmitStream struct {
+	c       *Client
+	window  chan inflight
+	results chan StreamResult
+	done    chan struct{}
+	err     error
+	errOnce sync.Once
+	seq     uint64
+}
+
+// SubmitStream opens a pipelined submission stream with the given
+// window (max unacked frames in flight; <=0 means 256).
+func (c *Client) SubmitStream(window int) *SubmitStream {
+	if window <= 0 {
+		window = 256
+	}
+	st := &SubmitStream{
+		c:       c,
+		window:  make(chan inflight, window),
+		results: make(chan StreamResult, window),
+		done:    make(chan struct{}),
+	}
+	go st.readLoop()
+	return st
+}
+
+// Send writes one submit frame. It blocks only when the window is full
+// of unacked frames — flow control, not ack latency. The result
+// arrives later on Results.
+func (st *SubmitStream) Send(spec proto.JobSpec) error {
+	st.seq++
+	// Register the frame before writing it, so the reader can never see
+	// an ack for an unregistered send.
+	select {
+	case st.window <- inflight{seq: st.seq, sentAt: time.Now()}:
+	case <-st.done:
+		return st.err
+	}
+	msg := &proto.Message{Type: proto.TypeSubmit,
+		Submit: &proto.Submit{Job: spec, Seq: st.seq}}
+	if err := st.c.codec.Write(msg); err != nil {
+		st.fail(err)
+		return err
+	}
+	return nil
+}
+
+// CloseSend signals that no more frames will be sent. Results closes
+// once every outstanding ack has arrived; check Err after that.
+func (st *SubmitStream) CloseSend() { close(st.window) }
+
+// Results delivers one StreamResult per successful Send, in send
+// order. The channel closes after CloseSend once the stream drains, or
+// early if the stream fails (see Err).
+func (st *SubmitStream) Results() <-chan StreamResult { return st.results }
+
+// Err reports why the stream died. Valid once Results is closed; nil
+// means a clean drain.
+func (st *SubmitStream) Err() error {
+	select {
+	case <-st.done:
+		return st.err
+	default:
+		return nil
+	}
+}
+
+// fail records the stream's first error and wakes blocked senders.
+func (st *SubmitStream) fail(err error) {
+	st.errOnce.Do(func() {
+		st.err = err
+		close(st.done)
+	})
+}
+
+// readLoop matches in-order acks to the in-flight window and publishes
+// results until the window closes empty or the connection errors.
+func (st *SubmitStream) readLoop() {
+	defer close(st.results)
+	for {
+		fl, ok := <-st.window
+		if !ok {
+			st.errOnce.Do(func() { close(st.done) })
+			return
+		}
+		reply, err := st.c.codec.Read()
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		if reply.Type != proto.TypeSubmitAck || reply.SubmitAck == nil {
+			st.fail(fmt.Errorf("client: unexpected reply %s on submit stream", reply.Type))
+			return
+		}
+		ack := reply.SubmitAck
+		if ack.Seq != 0 && ack.Seq != fl.seq {
+			st.fail(fmt.Errorf("client: ack seq %d does not match frame %d", ack.Seq, fl.seq))
+			return
+		}
+		st.results <- StreamResult{
+			Seq: fl.seq,
+			ID:  ack.ID,
+			Err: submitErr(ack.Err, ack.Code),
+			RTT: time.Since(fl.sentAt),
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"muri/internal/ingest"
 	"muri/internal/metrics"
 	"muri/internal/telemetry"
 )
@@ -78,6 +79,29 @@ func (s *Server) initMetrics() {
 	r.GaugeFunc("muri_machines_degraded", "Machines seen before but absent now (crashed, not yet repaired).",
 		engGauge(func() int { return len(s.seenMachines) - len(s.executors) }))
 
+	// Ingest front door: counters and depth come func-backed from the
+	// admitter (its own lock — scrapes never contend with s.mu), so they
+	// agree with the status RPC's IngestSummary at every instant.
+	admCounter := func(pick func(ingest.Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.adm.Stats()) }
+	}
+	r.CounterFunc("muri_ingest_accepted_total", "Submissions accepted into the admission queue.",
+		admCounter(func(st ingest.Stats) uint64 { return st.Accepted }))
+	r.CounterFunc("muri_ingest_rejected_total", "Submissions rejected for a full admission queue.",
+		admCounter(func(st ingest.Stats) uint64 { return st.RejectedFull }))
+	r.CounterFunc("muri_ingest_throttled_total", "Submissions rejected by per-tenant rate limits.",
+		admCounter(func(st ingest.Stats) uint64 { return st.Throttled }))
+	r.CounterFunc("muri_ingest_batches_total", "Admission batches drained into the engine.",
+		admCounter(func(st ingest.Stats) uint64 { return st.Batches }))
+	r.GaugeFunc("muri_ingest_queue_depth", "Submissions queued awaiting engine admission.",
+		func() float64 { return float64(s.adm.Depth()) })
+	s.batchHist = r.Histogram("muri_ingest_batch_size",
+		"Jobs admitted per batched admission round.",
+		metrics.ExponentialBounds(1, 2, 16)...)
+	s.submitWaitHist = r.Histogram("muri_submit_latency_seconds",
+		"Queue wait between submission accept and engine admission.",
+		metrics.ExponentialBounds(1e-6, 10, 8)...)
+
 	// Virtual JCT spans seconds to hours on scaled runs; round latency is
 	// wall time in the microsecond-to-second range.
 	s.jctHist = r.Histogram("muri_jct_seconds",
@@ -96,8 +120,9 @@ func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 func (s *Server) TraceJSON() ([]byte, error) { return s.tracer.ExportJSON() }
 
 // DebugHandler serves the observability endpoints murisched binds on
-// -debug-addr: /metrics (Prometheus text), /debug/vars (expvar), and
-// /debug/pprof (the standard profiles).
+// -debug-addr: /metrics (Prometheus text), /debug/vars (expvar),
+// /debug/pprof (the standard profiles), and — so a single port works for
+// small deployments — the HTTP submission API (see APIHandler).
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.reg.Handler())
@@ -107,5 +132,6 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.apiRoutes(mux)
 	return mux
 }

@@ -65,6 +65,36 @@ func TestMetricsEndpointMatchesStatus(t *testing.T) {
 	if got := samples["muri_capacity_gpus_total"]; got != 8 {
 		t.Errorf("muri_capacity_gpus_total = %v, want 8", got)
 	}
+	// Ingest metrics agree with the status RPC's IngestSummary the same
+	// way: func-backed off one set of admitter counters.
+	if st.Ingest == nil {
+		t.Fatal("status carries no ingest summary")
+	}
+	for name, want := range map[string]int{
+		"muri_ingest_accepted_total":  st.Ingest.Accepted,
+		"muri_ingest_rejected_total":  st.Ingest.Rejected,
+		"muri_ingest_throttled_total": st.Ingest.Throttled,
+		"muri_ingest_batches_total":   st.Ingest.Batches,
+		"muri_ingest_queue_depth":     st.Ingest.QueueDepth,
+	} {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("scrape missing %s", name)
+			continue
+		}
+		if int(got) != want {
+			t.Errorf("%s = %v, status says %d", name, got, want)
+		}
+	}
+	if st.Ingest.Accepted != 3 || st.Ingest.QueueDepth != 0 {
+		t.Errorf("ingest summary = %+v, want 3 accepted and an empty queue", st.Ingest)
+	}
+	if got := samples["muri_ingest_batch_size_count"]; int(got) != st.Ingest.Batches {
+		t.Errorf("batch-size histogram holds %v observations, %d batches drained", got, st.Ingest.Batches)
+	}
+	if got := samples["muri_submit_latency_seconds_count"]; int(got) != st.Ingest.Accepted {
+		t.Errorf("submit-latency histogram holds %v observations, %d accepted", got, st.Ingest.Accepted)
+	}
 	if got := samples["muri_jct_seconds_count"]; int(got) != st.Done {
 		t.Errorf("JCT histogram holds %v observations, %d jobs done", got, st.Done)
 	}
