@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-race race bench bench-sched bench-sched-scale bench-sched-scale-quick bench-ingest clean
+.PHONY: check fmt build vet test test-race race smoke-recover bench bench-sched bench-sched-scale bench-sched-scale-quick bench-ingest clean
 
-check: fmt build vet test-race
+check: fmt build vet test-race smoke-recover
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -30,6 +30,13 @@ test-race:
 
 # Back-compat alias.
 race: test-race
+
+# Kill-and-recover smoke: SIGKILL a durable daemon mid-run, restart it
+# from its -state-dir, and assert the executor's running groups are
+# adopted (not requeued) and every job drains. Real binaries, real
+# kill -9 — the one failure mode unit tests can only approximate.
+smoke-recover:
+	./scripts/smoke_recover.sh
 
 # Scheduling-path microbenchmarks (ns/op, allocs/op, B/op, plus
 # cache/pool hit rates), captured as a machine-readable stream in

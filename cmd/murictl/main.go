@@ -32,7 +32,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | trace | models")
+		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | trace | models | debug")
 		os.Exit(2)
 	}
 	if args[0] == "models" {
@@ -89,6 +89,20 @@ func main() {
 				st.Faults.Crashes, st.Faults.Transient, st.Faults.Requeues)
 		}
 		fmt.Println(line)
+		if d := st.Durability; d != nil {
+			dur := fmt.Sprintf("durability: role=%s term=%d wal=%d@%d lsn=%d snapshot_lsn=%d",
+				d.Role, d.Term, d.WALSegment, d.WALOffset, d.WALLSN, d.SnapshotLSN)
+			if d.SnapshotAge > 0 {
+				dur += fmt.Sprintf(" snapshot_age=%v", d.SnapshotAge.Round(time.Second))
+			}
+			dur += fmt.Sprintf(" fsync_every=%d appends=%d fsyncs=%d", d.FsyncEvery, d.Appends, d.Fsyncs)
+			if d.Role == "standby" {
+				dur += fmt.Sprintf(" repl_lag=%d", d.ReplLag)
+			} else if d.Standbys > 0 {
+				dur += fmt.Sprintf(" standbys=%d repl_lag=%d", d.Standbys, d.ReplLag)
+			}
+			fmt.Println(dur)
+		}
 		if e := st.Engine; e != nil {
 			fmt.Printf("engine: rounds=%d decisions=%d launches=%d preemptions=%d requeues=%d queue=%d\n",
 				e.Rounds, e.Decisions, e.Launches, e.Preemptions, e.Requeues, e.QueueDepth)
@@ -179,6 +193,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("replayed %d jobs\n", len(ids))
+	case "debug":
+		if len(args) < 2 || args[1] != "crash" {
+			fmt.Fprintln(os.Stderr, "murictl: debug needs the crash subcommand: murictl debug crash -point mid-round")
+			os.Exit(2)
+		}
+		fs := flag.NewFlagSet("debug crash", flag.ExitOnError)
+		point := fs.String("point", "mid-round", "crash point to arm (mid-round|mid-fsync|mid-snapshot)")
+		_ = fs.Parse(args[2:])
+		if err := c.DebugCrash(*point); err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("armed crash point %q; the daemon will panic next time it passes it\n", *point)
 	case "watch":
 		fs := flag.NewFlagSet("watch", flag.ExitOnError)
 		every := fs.Duration("every", time.Second, "refresh period")

@@ -68,6 +68,15 @@ func main() {
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained submission rate in jobs/sec (0 = unlimited)")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant submission burst size (0 = derive from -tenant-rate)")
 		drainWait   = flag.Duration("drain-timeout", time.Minute, "on SIGINT, how long to wait for running groups before closing")
+
+		stateDir     = flag.String("state-dir", "", "durability directory: WAL + snapshots (empty = in-memory daemon)")
+		fsyncEvery   = flag.Int("fsync-every", 0, "fsync the WAL every N records (0 = default 64; 1 = per record)")
+		snapEvery    = flag.Duration("snapshot-interval", 0, "full-state snapshot cadence (0 = default 10s)")
+		segmentBytes = flag.Int64("segment-bytes", 0, "WAL segment size cap in bytes (0 = default)")
+		standbyOf    = flag.String("standby-of", "", "run as warm standby replicating the leader at this address (requires -state-dir)")
+		standbyID    = flag.String("standby-id", "", "standby identity on the replication stream (default: the machine role)")
+		electionTTL  = flag.Duration("election-ttl", 0, "leader lease: standby promotes after this much silence (0 = default 2s)")
+		unsafeDebug  = flag.Bool("unsafe-debug", false, "enable the crash-injection debug RPC (murictl debug crash); never in production")
 	)
 	flag.Parse()
 
@@ -81,6 +90,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "murisched: %v\n", err)
 		os.Exit(2)
 	}
+	sid := *standbyID
+	if sid == "" {
+		sid = "standby"
+	}
 	srv := server.New(server.Config{
 		Policy:         p,
 		Interval:       *interval,
@@ -91,6 +104,14 @@ func main() {
 		MaxBatchDelay:  *batchDelay,
 		TenantRate:     *tenantRate,
 		TenantBurst:    *tenantBurst,
+		StateDir:       *stateDir,
+		FsyncEvery:     *fsyncEvery,
+		SnapshotEvery:  *snapEvery,
+		SegmentBytes:   *segmentBytes,
+		StandbyOf:      *standbyOf,
+		StandbyID:      sid,
+		ElectionTTL:    *electionTTL,
+		UnsafeDebug:    *unsafeDebug,
 	})
 	if *debugAddr != "" {
 		go func() {
@@ -123,7 +144,14 @@ func main() {
 		}
 	}()
 
-	log.Printf("murisched: %s policy, listening on %s", p.Name(), *addr)
+	switch {
+	case *standbyOf != "":
+		log.Printf("murisched: warm standby of %s (state %s), listening on %s", *standbyOf, *stateDir, *addr)
+	case *stateDir != "":
+		log.Printf("murisched: %s policy, durable state in %s, listening on %s", p.Name(), *stateDir, *addr)
+	default:
+		log.Printf("murisched: %s policy, listening on %s", p.Name(), *addr)
+	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("murisched: %v", err)
 	}

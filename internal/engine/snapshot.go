@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/metrics"
+)
+
+// Snapshot is the engine's replayable state: everything Reconcile and
+// the lifecycle methods consult that cannot be rebuilt from the drivers'
+// own state. Restoring a snapshot and re-applying the decision records
+// logged after it reproduces the engine bit-for-bit, which is what makes
+// the recovered daemon's decision stream byte-identical to an
+// uninterrupted run.
+type Snapshot struct {
+	// Seq is the last assigned decision sequence number.
+	Seq uint64 `json:"seq"`
+	// LastNow is the clock of the most recent round, in nanoseconds.
+	LastNow int64 `json:"last_now,omitempty"`
+	// PrevKeys is the placement memory: running job → unit key.
+	PrevKeys map[int64]string `json:"prev_keys,omitempty"`
+	// Bypassed is the anti-starvation ledger: job → consecutive rounds
+	// skipped for capacity.
+	Bypassed map[int64]int `json:"bypassed,omitempty"`
+	// Records is the lifecycle state machine: job → phase + fault count.
+	Records map[int64]RecordSnapshot `json:"records,omitempty"`
+	// Stats are the engine counters.
+	Stats metrics.EngineStats `json:"stats"`
+}
+
+// RecordSnapshot is one job's lifecycle record on disk.
+type RecordSnapshot struct {
+	Phase  string `json:"phase"`
+	Faults int    `json:"faults,omitempty"`
+}
+
+// Snapshot captures the engine's replayable state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Seq:     e.seq,
+		LastNow: int64(e.lastNow),
+		Stats:   e.stats,
+	}
+	if len(e.prevKeys) > 0 {
+		s.PrevKeys = make(map[int64]string, len(e.prevKeys))
+		for id, k := range e.prevKeys {
+			s.PrevKeys[int64(id)] = k
+		}
+	}
+	if len(e.bypassed) > 0 {
+		s.Bypassed = make(map[int64]int, len(e.bypassed))
+		for id, n := range e.bypassed {
+			s.Bypassed[int64(id)] = n
+		}
+	}
+	if len(e.records) > 0 {
+		s.Records = make(map[int64]RecordSnapshot, len(e.records))
+		for id, r := range e.records {
+			s.Records[int64(id)] = RecordSnapshot{Phase: string(r.Phase), Faults: r.Faults}
+		}
+	}
+	return s
+}
+
+// Restore overwrites the engine's replayable state from a snapshot. The
+// engine keeps its Config (policy, observer, tracer): those are wiring,
+// not state, and the restoring driver reconstructs them.
+func (e *Engine) Restore(s Snapshot) {
+	e.seq = s.Seq
+	e.lastNow = time.Duration(s.LastNow)
+	e.stats = s.Stats
+	e.prevKeys = make(map[job.ID]string, len(s.PrevKeys))
+	for id, k := range s.PrevKeys {
+		e.prevKeys[job.ID(id)] = k
+	}
+	e.bypassed = make(map[job.ID]int, len(s.Bypassed))
+	for id, n := range s.Bypassed {
+		e.bypassed[job.ID(id)] = n
+	}
+	e.records = make(map[job.ID]*Record, len(s.Records))
+	for id, r := range s.Records {
+		e.records[job.ID(id)] = &Record{Phase: Phase(r.Phase), Faults: r.Faults}
+	}
+}
+
+// ApplyDecision replays one logged decision into the engine's state
+// silently: no observer, no sink, no trace, no new sequence number —
+// the decision already happened; replay only reproduces its effects.
+// The rules mirror what emit-time code did around each decision:
+//
+//   - launch: members enter the placement memory under the unit key,
+//     phases move to running, starvation credit resets.
+//   - kill: members leave the placement memory, running phases return to
+//     pending. (The live path rebuilds prevKeys wholesale each round;
+//     deleting the killed keys is the equivalent incremental form,
+//     because every kept or placed unit re-inserts its own members.)
+//   - requeue: placement memory forgotten, running → pending.
+//   - deadletter: placement memory forgotten, phase parked.
+//
+// Fault-budget spend and counter increments are NOT derived from the
+// decision kind alone — requeue is ambiguous between the free
+// (machine-lost) and budget-spending (fault) paths — so replay drives
+// them from the richer WAL fault records via ReplayFault. Stats
+// counters (requeues, preemptions, launches, deadletters, decisions)
+// are restored from the snapshot and advanced here to match the
+// emit-time increments exactly.
+func (e *Engine) ApplyDecision(d Decision) {
+	if d.Seq > e.seq {
+		e.seq = d.Seq
+	}
+	e.stats.Decisions++
+	switch d.Action {
+	case ActLaunch:
+		e.stats.Launches++
+		for _, id := range d.Jobs {
+			e.prevKeys[id] = d.Key
+			delete(e.bypassed, id)
+			e.markRunning(id)
+		}
+	case ActKill:
+		e.stats.Preemptions++
+		for _, id := range d.Jobs {
+			delete(e.prevKeys, id)
+			if r := e.records[id]; r != nil && r.Phase == PhaseRunning {
+				r.Phase = PhasePending
+			}
+		}
+	case ActRequeue:
+		e.stats.Requeues++
+		for _, id := range d.Jobs {
+			delete(e.prevKeys, id)
+			if r := e.records[id]; r != nil && r.Phase == PhaseRunning {
+				r.Phase = PhasePending
+			}
+		}
+	case ActDeadletter:
+		e.stats.DeadLettered++
+		for _, id := range d.Jobs {
+			delete(e.prevKeys, id)
+			if r := e.records[id]; r == nil {
+				e.records[id] = &Record{Phase: PhaseDeadletter}
+			} else {
+				r.Phase = PhaseDeadletter
+			}
+		}
+	}
+}
+
+// ReplayFault replays one WAL fault record's budget spend: the fault
+// count is set absolutely (idempotent under re-replay of the same
+// record) without emitting the requeue/deadletter decision — that
+// decision is its own WAL record and flows through ApplyDecision.
+func (e *Engine) ReplayFault(id job.ID, faults int, deadlettered bool) {
+	r := e.records[id]
+	if r == nil {
+		r = &Record{}
+		e.records[id] = r
+	}
+	if faults > r.Faults {
+		r.Faults = faults
+	}
+	_ = deadlettered // phase flows through the deadletter decision record
+}
+
+// MarkDone completes a job's lifecycle (running/pending/deadletter →
+// done) and clears its placement memory, reporting whether the
+// transition applied. Shared by the live completion path and replay.
+func (e *Engine) MarkDone(id job.ID) bool {
+	if !e.SetPhase(id, PhaseDone) {
+		return false
+	}
+	delete(e.prevKeys, id)
+	delete(e.bypassed, id)
+	return true
+}
+
+// RunningKeys returns the placement memory as a sorted job → key list,
+// for recovery code that must rebuild driver-side group state.
+func (e *Engine) RunningKeys() map[job.ID]string {
+	out := make(map[job.ID]string, len(e.prevKeys))
+	for id, k := range e.prevKeys {
+		out[id] = k
+	}
+	return out
+}
+
+// PhasesInOrder lists tracked jobs in ascending ID order with their
+// phases — deterministic iteration for recovery and tests.
+func (e *Engine) PhasesInOrder() []struct {
+	ID    job.ID
+	Phase Phase
+} {
+	ids := make([]job.ID, 0, len(e.records))
+	for id := range e.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]struct {
+		ID    job.ID
+		Phase Phase
+	}, len(ids))
+	for i, id := range ids {
+		out[i].ID = id
+		out[i].Phase = e.records[id].Phase
+	}
+	return out
+}

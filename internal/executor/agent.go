@@ -32,16 +32,32 @@ type Agent struct {
 	groups map[int64]*runningGroup
 	conn   net.Conn
 	codec  *proto.Codec
-	wmu    sync.Mutex // serializes codec writes
-	// wg tracks every goroutine Serve spawns (heartbeat, context watcher,
-	// group runners, profiling), so Serve returns only after they exit.
+	wmu    sync.Mutex // serializes codec writes (and codec swaps)
+	// wg tracks every connection-lifetime goroutine Serve spawns
+	// (heartbeat, context watcher, profiling), so Serve returns only
+	// after they exit. Group runners live on gwg instead: groups keep
+	// running across disconnects and re-register with the next leader.
 	wg sync.WaitGroup
+	// gwg tracks group-lifetime goroutines (runners and progress
+	// tickers), which outlive individual connections.
+	gwg sync.WaitGroup
+	// registered reports a connection with an accepted registration;
+	// while false, job events buffer in pending instead of being lost.
+	registered bool
+	pending    []*proto.Message
+	// seenTerm is the highest election term any scheduler acked to us;
+	// presented on the next Register so a deposed leader fences itself.
+	seenTerm uint64
 }
 
 type runningGroup struct {
 	run    *GroupRun
 	cancel context.CancelFunc
 	done   chan struct{}
+	// key and gpus echo the Launch, so re-registration can offer the
+	// group back to a recovered scheduler for adoption.
+	key  string
+	gpus int
 }
 
 func (a *Agent) logf(format string, args ...any) {
@@ -61,29 +77,56 @@ func (a *Agent) Run(ctx context.Context, addr string) error {
 		return fmt.Errorf("executor: dial scheduler: %w", err)
 	}
 	defer conn.Close()
-	return a.Serve(ctx, conn)
+	err = a.Serve(ctx, conn)
+	if ctx.Err() != nil {
+		// Process shutdown: group contexts descend from ctx, so the
+		// runners are unwinding — wait for them before returning.
+		a.gwg.Wait()
+	}
+	return err
 }
 
 // RunWithRetry keeps the executor connected across scheduler restarts:
 // it dials, serves, and on disconnect retries with exponential backoff
-// (capped at maxBackoff) until ctx is cancelled. Progress of running
-// groups is lost on disconnect — the scheduler requeues those jobs from
-// their last reported iteration, exactly as with any executor fault.
+// (capped at maxBackoff) until ctx is cancelled. Running groups keep
+// running through the disconnect; the next registration offers them
+// back for adoption, and only groups the scheduler declines are killed.
 func (a *Agent) RunWithRetry(ctx context.Context, addr string, maxBackoff time.Duration) error {
+	return a.RunHA(ctx, []string{addr}, maxBackoff)
+}
+
+// RunHA is RunWithRetry over an ordered scheduler address list (leader
+// plus standbys): on disconnect the agent tries each address in turn —
+// a standby rejects registration until promoted — and backs off only
+// after a full sweep fails. This is how executors re-register against a
+// newly promoted leader without losing running groups.
+func (a *Agent) RunHA(ctx context.Context, addrs []string, maxBackoff time.Duration) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("executor: no scheduler addresses")
+	}
 	if maxBackoff <= 0 {
 		maxBackoff = 30 * time.Second
 	}
 	backoff := 250 * time.Millisecond
 	for {
-		err := a.Run(ctx, addr)
-		if ctx.Err() != nil {
-			return ctx.Err()
+		for _, addr := range addrs {
+			start := time.Now()
+			err := a.Run(ctx, addr)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err != nil {
+				a.logf("executor %s: scheduler %s: %v", a.MachineID, addr, err)
+			} else {
+				a.logf("executor %s: scheduler %s closed the connection", a.MachineID, addr)
+			}
+			if time.Since(start) > 2*maxBackoff {
+				// A long successful session means the outage is fresh, not a
+				// flapping loop; restart the backoff ladder.
+				backoff = 250 * time.Millisecond
+			}
 		}
-		if err != nil {
-			a.logf("executor %s: connection lost (%v); retrying in %v", a.MachineID, err, backoff)
-		} else {
-			a.logf("executor %s: scheduler closed the connection; retrying in %v", a.MachineID, backoff)
-		}
+		a.logf("executor %s: no scheduler reachable; retrying in %v", a.MachineID, backoff)
 		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
@@ -99,23 +142,36 @@ func (a *Agent) RunWithRetry(ctx context.Context, addr string, maxBackoff time.D
 }
 
 // Serve runs the executor protocol over an established connection
-// (exposed separately so tests can use net.Pipe).
+// (exposed separately so tests can use net.Pipe). Groups launched on a
+// previous connection keep running: they are offered back in the
+// Register for adoption, and only the ones the scheduler declines (the
+// daemon requeued or reassigned their jobs meanwhile) are killed.
 func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 	a.mu.Lock()
 	a.conn = conn
-	a.codec = proto.NewCodec(conn)
-	a.groups = make(map[int64]*runningGroup)
+	if a.groups == nil {
+		a.groups = make(map[int64]*runningGroup)
+	}
+	reg := &proto.Register{MachineID: a.MachineID, GPUs: a.GPUs,
+		Groups: a.snapshotGroupsLocked(), SeenTerm: a.seenTerm}
 	a.mu.Unlock()
-	// LIFO: unblock the watcher, stop every group, then wait for all
-	// spawned goroutines — Serve leaks nothing after it returns.
+	a.wmu.Lock()
+	a.codec = proto.NewCodec(conn)
+	a.wmu.Unlock()
+	// LIFO: mark unregistered (events buffer again), unblock the
+	// watcher, then wait for connection-lifetime goroutines — group
+	// runners live on gwg and deliberately survive Serve.
 	defer a.wg.Wait()
-	defer a.killAll()
+	defer a.setRegistered(false)
 
-	if err := a.send(&proto.Message{
-		Type:     proto.TypeRegister,
-		Register: &proto.Register{MachineID: a.MachineID, GPUs: a.GPUs},
-	}); err != nil {
+	if err := a.send(&proto.Message{Type: proto.TypeRegister, Register: reg}); err != nil {
 		return err
+	}
+	// Groups offered in this registration; those absent from the ack's
+	// adopted set must be killed (their jobs belong elsewhere now).
+	offered := make([]int64, len(reg.Groups))
+	for i := range reg.Groups {
+		offered[i] = reg.Groups[i].GroupID
 	}
 	// Close the connection when ctx ends so the read loop unblocks.
 	watchDone := make(chan struct{})
@@ -175,10 +231,18 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 		}
 		switch m.Type {
 		case proto.TypeRegisterAck:
-			if !m.RegisterAck.OK {
-				return fmt.Errorf("executor: registration rejected: %s", m.RegisterAck.Reason)
+			ack := m.RegisterAck
+			a.mu.Lock()
+			if ack.Term > a.seenTerm {
+				a.seenTerm = ack.Term
 			}
-			if ttl := m.RegisterAck.LeaseTTL; ttl > 0 {
+			a.mu.Unlock()
+			if !ack.OK {
+				return fmt.Errorf("executor: registration rejected: %s", ack.Reason)
+			}
+			a.reconcileAdoption(offered, ack.AdoptedGroups)
+			a.flushPending()
+			if ttl := ack.LeaseTTL; ttl > 0 {
 				select {
 				case leaseCh <- ttl:
 				default:
@@ -203,7 +267,88 @@ func (a *Agent) Serve(ctx context.Context, conn net.Conn) error {
 func (a *Agent) send(m *proto.Message) error {
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
+	if a.codec == nil {
+		return fmt.Errorf("executor: not connected")
+	}
 	return a.codec.Write(m)
+}
+
+// sendEvent delivers a job event (JobDone/Fault) or buffers it while
+// disconnected, so completions that land between a scheduler crash and
+// the re-registration are replayed instead of lost. The scheduler
+// validates events against the job's current group, so a buffered event
+// for work it reassigned meanwhile is ignored there.
+func (a *Agent) sendEvent(m *proto.Message) {
+	a.mu.Lock()
+	if !a.registered {
+		a.pending = append(a.pending, m)
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	if err := a.send(m); err != nil {
+		a.mu.Lock()
+		a.pending = append(a.pending, m)
+		a.mu.Unlock()
+	}
+}
+
+func (a *Agent) setRegistered(v bool) {
+	a.mu.Lock()
+	a.registered = v
+	a.mu.Unlock()
+}
+
+// flushPending replays events buffered across the disconnect, in order.
+func (a *Agent) flushPending() {
+	a.mu.Lock()
+	pending := a.pending
+	a.pending = nil
+	a.registered = true
+	a.mu.Unlock()
+	for i, m := range pending {
+		if err := a.send(m); err != nil {
+			a.mu.Lock()
+			a.pending = append(pending[i:], a.pending...)
+			a.registered = false
+			a.mu.Unlock()
+			return
+		}
+	}
+}
+
+// snapshotGroupsLocked renders the running groups for a Register offer.
+// Callers hold a.mu.
+func (a *Agent) snapshotGroupsLocked() []proto.RunningGroup {
+	if len(a.groups) == 0 {
+		return nil
+	}
+	out := make([]proto.RunningGroup, 0, len(a.groups))
+	for gid, rg := range a.groups {
+		g := proto.RunningGroup{GroupID: gid, Key: rg.key, GPUs: rg.gpus}
+		for _, jp := range rg.run.Progress() {
+			g.Jobs = append(g.Jobs, proto.RunningJob{ID: jp.ID, DoneIterations: jp.DoneIterations})
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// reconcileAdoption kills every group offered at registration that the
+// scheduler declined to adopt: its jobs were requeued, reassigned, or
+// finished from the scheduler's point of view, so keeping the local run
+// alive would double-execute them.
+func (a *Agent) reconcileAdoption(offered, adopted []int64) {
+	keep := make(map[int64]bool, len(adopted))
+	for _, gid := range adopted {
+		keep[gid] = true
+	}
+	for _, gid := range offered {
+		if !keep[gid] {
+			a.logf("executor %s: group %d not adopted; killing it", a.MachineID, gid)
+			a.handleKill(gid)
+		}
+	}
 }
 
 func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
@@ -216,17 +361,18 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 	gctx, cancel := context.WithCancel(ctx)
 	events := GroupEvents{
 		JobDone: func(jobID int64) {
-			_ = a.send(&proto.Message{Type: proto.TypeJobDone,
+			a.sendEvent(&proto.Message{Type: proto.TypeJobDone,
 				JobDone: &proto.JobDone{GroupID: l.GroupID, JobID: jobID}})
 		},
 		Fault: func(jobID int64, err error) {
-			_ = a.send(&proto.Message{Type: proto.TypeFault,
+			a.sendEvent(&proto.Message{Type: proto.TypeFault,
 				Fault: &proto.Fault{GroupID: l.GroupID, JobID: jobID, Error: err.Error(),
 					Machine: a.MachineID}})
 		},
 	}
 	run := NewGroupRun(l.Jobs, l.TimeScale, events, a.Fault)
-	rg := &runningGroup{run: run, cancel: cancel, done: make(chan struct{})}
+	rg := &runningGroup{run: run, cancel: cancel, done: make(chan struct{}),
+		key: l.Key, gpus: l.GPUs}
 	a.groups[l.GroupID] = rg
 	a.mu.Unlock()
 
@@ -234,9 +380,11 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 	if reportEvery <= 0 {
 		reportEvery = time.Second
 	}
-	a.wg.Add(1)
+	// Group-lifetime goroutines ride gwg, not wg: the group survives the
+	// connection that launched it and re-registers with the next leader.
+	a.gwg.Add(1)
 	go func() {
-		defer a.wg.Done()
+		defer a.gwg.Done()
 		t := time.NewTicker(reportEvery)
 		defer t.Stop()
 		for {
@@ -244,19 +392,30 @@ func (a *Agent) handleLaunch(ctx context.Context, l *proto.Launch) {
 			case <-rg.done:
 				return
 			case <-t.C:
+				a.mu.Lock()
+				connected := a.registered
+				a.mu.Unlock()
+				if !connected {
+					continue // progress is best-effort; don't spam a dead pipe
+				}
 				_ = a.send(&proto.Message{Type: proto.TypeProgress,
 					Progress: &proto.Progress{GroupID: l.GroupID, Jobs: run.Progress()}})
 			}
 		}
 	}()
-	a.wg.Add(1)
+	a.gwg.Add(1)
 	go func() {
-		defer a.wg.Done()
+		defer a.gwg.Done()
 		defer close(rg.done)
 		_ = run.Run(gctx)
 		// Final progress snapshot so the scheduler sees exact counts.
-		_ = a.send(&proto.Message{Type: proto.TypeProgress,
-			Progress: &proto.Progress{GroupID: l.GroupID, Jobs: run.Progress()}})
+		a.mu.Lock()
+		connected := a.registered
+		a.mu.Unlock()
+		if connected {
+			_ = a.send(&proto.Message{Type: proto.TypeProgress,
+				Progress: &proto.Progress{GroupID: l.GroupID, Jobs: run.Progress()}})
+		}
 		a.mu.Lock()
 		delete(a.groups, l.GroupID)
 		a.mu.Unlock()

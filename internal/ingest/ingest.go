@@ -231,3 +231,32 @@ func (a *Admitter) SetDraining(v bool) {
 	a.draining = v
 	a.mu.Unlock()
 }
+
+// Drain-on-crash semantics: the admission queue is deliberately NOT
+// durable. A submission is only persisted once a scheduling round
+// drains it into the engine (the daemon logs the admission batch to its
+// WAL at that point); accepted-but-undrained items die with the
+// process. This is the one allowed loss window of the durability layer
+// — the ack a client received for such an item promises an ID, not
+// execution, and clients that need the stronger guarantee resubmit on
+// a status miss. BumpNextID keeps ID assignment monotonic across that
+// window: recovery replays the last durable ID, so fresh submissions
+// can reuse at most the IDs of items that were lost (never IDs the
+// engine has seen).
+
+// BumpNextID raises the ID counter to at least id, so post-recovery
+// submissions never reuse an ID the engine already admitted.
+func (a *Admitter) BumpNextID(id int64) {
+	a.mu.Lock()
+	if id > a.nextID {
+		a.nextID = id
+	}
+	a.mu.Unlock()
+}
+
+// NextID reports the last assigned submission ID (for snapshots).
+func (a *Admitter) NextID() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nextID
+}

@@ -45,6 +45,14 @@ const (
 	TypeInjectFaultAck Type = "inject_fault_ack" // result of the injection
 	TypeTrace          Type = "trace"            // snapshot the daemon's trace ring
 	TypeTraceAck       Type = "trace_ack"        // Chrome trace-event JSON payload
+	TypeDebugCrash     Type = "debug_crash"      // arm a crash-injection point (-unsafe-debug only)
+	TypeDebugCrashAck  Type = "debug_crash_ack"
+
+	// Standby ↔ leader WAL replication (durability layer).
+	TypeReplSubscribe Type = "repl_subscribe" // standby asks to follow the leader's WAL
+	TypeReplSnapshot  Type = "wal_snapshot"   // leader seeds the standby with a full snapshot
+	TypeWALAppend     Type = "wal_append"     // leader streams raw WAL frames (empty = lease heartbeat)
+	TypeWALAppendAck  Type = "wal_append_ack" // standby acks applied LSN (or rejects a stale term)
 )
 
 // JobSpec describes one job inside a Launch message or a Submit request.
@@ -71,6 +79,29 @@ type JobSpec struct {
 type Register struct {
 	MachineID string `json:"machine_id"`
 	GPUs      int    `json:"gpus"`
+	// Groups lists groups still running on this machine from a previous
+	// registration (the scheduler restarted or failed over while the
+	// executor kept its processes alive). The scheduler adopts the ones
+	// it still recognizes and kills the rest.
+	Groups []RunningGroup `json:"groups,omitempty"`
+	// SeenTerm is the highest election term this executor has seen from
+	// any scheduler; a leader receiving a higher term fences itself.
+	SeenTerm uint64 `json:"seen_term,omitempty"`
+}
+
+// RunningGroup describes one group an executor kept alive across a
+// scheduler restart, carried in Register for adoption.
+type RunningGroup struct {
+	GroupID int64        `json:"group_id"`
+	Key     string       `json:"key"`
+	GPUs    int          `json:"gpus"`
+	Jobs    []RunningJob `json:"jobs"`
+}
+
+// RunningJob is one member of a surviving group with its live progress.
+type RunningJob struct {
+	ID             int64 `json:"id"`
+	DoneIterations int64 `json:"done_iterations"`
 }
 
 // RegisterAck confirms registration.
@@ -81,12 +112,21 @@ type RegisterAck struct {
 	// some message (heartbeats suffice) within every TTL window or be
 	// evicted and have its groups requeued. Zero means no lease.
 	LeaseTTL time.Duration `json:"lease_ttl,omitempty"`
+	// Term is the scheduler's current election term; executors carry the
+	// highest term they have seen into future registrations (fencing).
+	Term uint64 `json:"term,omitempty"`
+	// AdoptedGroups lists the group IDs from Register.Groups the
+	// scheduler adopted; the executor kills the rest locally.
+	AdoptedGroups []int64 `json:"adopted_groups,omitempty"`
 }
 
 // Launch instructs an executor to run an interleaving group.
 type Launch struct {
 	// GroupID identifies the group for Kill/Progress correlation.
 	GroupID int64 `json:"group_id"`
+	// Key is the unit's canonical scheduling key, echoed back in
+	// Register.Groups so a restarted scheduler can adopt the group.
+	Key string `json:"key,omitempty"`
 	// GPUs is the number of GPUs the group occupies on the machine.
 	GPUs int `json:"gpus"`
 	// Jobs lists the members in stage-offset order: Jobs[i] starts at
@@ -175,6 +215,7 @@ const (
 	CodeQueueFull = "queue_full" // admission queue at capacity; retry later
 	CodeThrottled = "throttled"  // tenant over its token-bucket rate; retry later
 	CodeDraining  = "draining"   // scheduler shutting down; retry elsewhere
+	CodeNotLeader = "not_leader" // standby or fenced daemon; submit to the leader
 )
 
 // SubmitAck confirms a submission and returns the assigned ID.
@@ -224,6 +265,61 @@ type HTTPBatchResponse struct {
 	Results []SubmitResult `json:"results"`
 }
 
+// ReplSubscribe is a standby's request to follow the leader's WAL. The
+// leader answers with one ReplSnapshot, then a stream of WALAppend
+// frames. A Term above the leader's own fences the leader.
+type ReplSubscribe struct {
+	StandbyID string `json:"standby_id"`
+	Term      uint64 `json:"term,omitempty"`
+}
+
+// ReplSnapshot seeds a standby with the leader's latest snapshot: the
+// raw framed wal.Snapshot bytes, installed verbatim so the replica WAL
+// stays byte-identical to the leader's. Empty Snapshot means the leader
+// has no snapshot yet (fresh log); replication starts from LSN 1.
+type ReplSnapshot struct {
+	Snapshot []byte `json:"snapshot,omitempty"`
+	LSN      uint64 `json:"lsn"`
+	Term     uint64 `json:"term"`
+}
+
+// WALFrame is one raw WAL record frame (header + payload, the exact
+// bytes on the leader's disk).
+type WALFrame struct {
+	LSN  uint64 `json:"lsn"`
+	Data []byte `json:"data"`
+}
+
+// WALAppend streams WAL frames to a standby. An empty Records slice is
+// a lease heartbeat: it renews the leader's lease without moving the
+// log.
+type WALAppend struct {
+	Term    uint64     `json:"term"`
+	Records []WALFrame `json:"records,omitempty"`
+}
+
+// WALAppendAck reports the standby's applied position. OK=false with a
+// higher Term is the fencing signal: the sender is a deposed leader and
+// must stop writing.
+type WALAppendAck struct {
+	OK      bool   `json:"ok"`
+	LastLSN uint64 `json:"last_lsn"`
+	Term    uint64 `json:"term"`
+}
+
+// DebugCrash arms a crash-injection point in the daemon (only honored
+// under -unsafe-debug): the daemon panics at the next hit of the named
+// point (mid-round, mid-fsync, mid-snapshot).
+type DebugCrash struct {
+	Point string `json:"point"`
+}
+
+// DebugCrashAck confirms the point was armed.
+type DebugCrashAck struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
 // Status asks for the scheduler's current state.
 type Status struct{}
 
@@ -234,12 +330,42 @@ type StatusAck struct {
 	Done      int `json:"done"`
 	Executors int `json:"executors"`
 	// DeadLetter counts jobs parked after exhausting their retry budget.
-	DeadLetter int            `json:"dead_letter,omitempty"`
-	Faults     *FaultSummary  `json:"faults,omitempty"`
-	Engine     *EngineSummary `json:"engine,omitempty"`
-	Ingest     *IngestSummary `json:"ingest,omitempty"`
-	Jobs       []JobStatus    `json:"jobs,omitempty"`
-	Extra      map[string]any `json:"extra,omitempty"`
+	DeadLetter int                `json:"dead_letter,omitempty"`
+	Faults     *FaultSummary      `json:"faults,omitempty"`
+	Engine     *EngineSummary     `json:"engine,omitempty"`
+	Ingest     *IngestSummary     `json:"ingest,omitempty"`
+	Durability *DurabilitySummary `json:"durability,omitempty"`
+	Jobs       []JobStatus        `json:"jobs,omitempty"`
+	Extra      map[string]any     `json:"extra,omitempty"`
+}
+
+// DurabilitySummary mirrors the durability layer's state on the wire:
+// role and term of the election state machine, the WAL append position,
+// snapshot freshness, and standby replication lag. Present only when
+// the daemon runs with a state dir.
+type DurabilitySummary struct {
+	// Role is one of "solo", "leader", "standby", "fenced".
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+	// WALSegment is the active segment's first LSN; WALOffset the byte
+	// offset within it; WALLSN the last appended record.
+	WALSegment uint64 `json:"wal_segment"`
+	WALOffset  int64  `json:"wal_offset"`
+	WALLSN     uint64 `json:"wal_lsn"`
+	// SnapshotLSN is the latest snapshot's covered LSN (0 if none);
+	// SnapshotAge is how long ago it was taken.
+	SnapshotLSN uint64        `json:"snapshot_lsn,omitempty"`
+	SnapshotAge time.Duration `json:"snapshot_age,omitempty"`
+	// Standbys counts attached replication subscribers (leader side);
+	// ReplLag is the leader's max records-behind across them, or — on a
+	// standby — this replica's records behind the leader stream.
+	Standbys int    `json:"standbys,omitempty"`
+	ReplLag  uint64 `json:"repl_lag,omitempty"`
+	// FsyncEvery is the configured fsync batch size; Appends and Fsyncs
+	// are lifetime WAL counters.
+	FsyncEvery int    `json:"fsync_every,omitempty"`
+	Appends    uint64 `json:"appends"`
+	Fsyncs     uint64 `json:"fsyncs"`
 }
 
 // IngestSummary mirrors the admission front door's counters on the wire:
@@ -342,6 +468,12 @@ type Message struct {
 	InjectFaultAck *InjectFaultAck `json:"inject_fault_ack,omitempty"`
 	Trace          *TraceReq       `json:"trace,omitempty"`
 	TraceAck       *TraceAck       `json:"trace_ack,omitempty"`
+	DebugCrash     *DebugCrash     `json:"debug_crash,omitempty"`
+	DebugCrashAck  *DebugCrashAck  `json:"debug_crash_ack,omitempty"`
+	ReplSubscribe  *ReplSubscribe  `json:"repl_subscribe,omitempty"`
+	ReplSnapshot   *ReplSnapshot   `json:"repl_snapshot,omitempty"`
+	WALAppend      *WALAppend      `json:"wal_append,omitempty"`
+	WALAppendAck   *WALAppendAck   `json:"wal_append_ack,omitempty"`
 }
 
 // Codec reads and writes framed messages on a stream. Reads and writes

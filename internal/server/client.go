@@ -129,6 +129,28 @@ func (c *Client) InjectFault(jobID int64, machine string) error {
 	return nil
 }
 
+// DebugCrash arms a crash point in the daemon: the next time its write
+// path passes that point, the process panics there (the in-process
+// `kill -9`). Refused unless murisched runs with -unsafe-debug.
+func (c *Client) DebugCrash(point string) error {
+	msg := &proto.Message{Type: proto.TypeDebugCrash,
+		DebugCrash: &proto.DebugCrash{Point: point}}
+	if err := c.codec.Write(msg); err != nil {
+		return err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return err
+	}
+	if reply.Type != proto.TypeDebugCrashAck || reply.DebugCrashAck == nil {
+		return fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if !reply.DebugCrashAck.OK {
+		return fmt.Errorf("client: debug crash: %s", reply.DebugCrashAck.Err)
+	}
+	return nil
+}
+
 // TraceSnapshot fetches the daemon's trace ring as Chrome trace-event
 // JSON (viewable in Perfetto). The daemon keeps recording; snapshots
 // taken later include everything earlier ones did, up to the ring's cap.

@@ -19,8 +19,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"muri/internal/crashpoint"
 	"muri/internal/engine"
 	"muri/internal/ingest"
 	"muri/internal/job"
@@ -28,6 +30,7 @@ import (
 	"muri/internal/proto"
 	"muri/internal/sched"
 	"muri/internal/telemetry"
+	"muri/internal/wal"
 	"muri/internal/workload"
 )
 
@@ -102,6 +105,33 @@ type Config struct {
 	// limiting. TenantBurst is the bucket depth (zero derives it).
 	TenantRate  float64
 	TenantBurst int
+	// StateDir enables durability: every engine decision (plus admission
+	// batches, fault-ledger spends, and completions) is logged to a
+	// checksummed WAL there, with periodic snapshots. A restarted daemon
+	// pointed at the same directory replays to the exact pre-crash
+	// state. Empty disables the WAL (in-memory daemon, as before).
+	StateDir string
+	// FsyncEvery batches WAL fsyncs: one fsync per N appended records
+	// (and on shutdown). 1 is fsync-per-record; zero means 64.
+	FsyncEvery int
+	// SnapshotEvery is the full-state checkpoint cadence; recovery
+	// replays only the WAL tail past the newest snapshot. Zero means 10s.
+	SnapshotEvery time.Duration
+	// SegmentBytes caps each WAL segment file; zero uses the WAL default.
+	SegmentBytes int64
+	// StandbyOf runs this daemon as a warm standby replicating the WAL
+	// of the leader at this address; it serves no clients or executors
+	// until the leader's lease lapses and it promotes itself. Requires
+	// StateDir.
+	StandbyOf string
+	// StandbyID names this standby on the replication stream.
+	StandbyID string
+	// ElectionTTL is the leader lease: a standby hearing nothing (no
+	// frames, no heartbeats) for one TTL promotes itself. Zero means 2s.
+	ElectionTTL time.Duration
+	// UnsafeDebug enables the crash-injection debug RPC (murictl debug
+	// crash). Never enable outside tests.
+	UnsafeDebug bool
 }
 
 // jobState tracks one submitted job's daemon-side bookkeeping. The
@@ -217,6 +247,38 @@ type Server struct {
 	// batchHist observes admission batch sizes; submitWaitHist observes
 	// each job's queue wait (accept → engine admission) in seconds.
 	batchHist, submitWaitHist *telemetry.Histogram
+
+	// --- durability & failover (see durable.go) ---
+	// w is the decision-stream WAL; nil when StateDir is unset. Appends
+	// happen exclusively under s.mu.
+	w          *wal.Writer
+	durStarted bool
+	role       string
+	// notLeader gates the lock-free submit path (standby/fenced daemons
+	// reject writes without touching s.mu).
+	notLeader atomic.Bool
+	term      atomic.Uint64
+	lastSnap  time.Time
+	// adoptUntil is the post-recovery grace deadline: scheduling rounds
+	// freeze until every orphaned running job is re-adopted by its
+	// returning executor, or the deadline passes and they requeue.
+	adoptUntil  time.Time
+	walReplayed int
+	// replayLostOrigin threads a machine-loss record's origin to the
+	// requeue decisions replayed right after it (replay-only state).
+	replayLostOrigin string
+	// stopCh wakes durable background loops (standby/election) on Close.
+	stopCh chan struct{}
+
+	// replMu guards subs; always acquired after s.mu when both are held.
+	replMu      sync.Mutex
+	subs        []*replSub
+	standbyConn net.Conn
+	// lastLeaderMsg (unix nanos) is the standby's view of leader
+	// liveness; appliedLSN/leaderLSN drive the replication-lag gauge.
+	lastLeaderMsg           atomic.Int64
+	appliedLSN, leaderLSN   atomic.Uint64
+	fsyncHist, applyLagHist *telemetry.Histogram
 }
 
 // New creates a daemon with defaults filled in.
@@ -256,6 +318,15 @@ func New(cfg Config) *Server {
 		// JSON event, 64Ki events stay safely under it.
 		cfg.TraceEvents = 1 << 16
 	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = 64
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10 * time.Second
+	}
+	if cfg.ElectionTTL <= 0 {
+		cfg.ElectionTTL = 2 * time.Second
+	}
 	s := &Server{
 		cfg:          cfg,
 		executors:    make(map[string]*executorConn),
@@ -266,6 +337,8 @@ func New(cfg Config) *Server {
 		seenMachines: make(map[string]bool),
 		conns:        make(map[net.Conn]bool),
 		kick:         make(chan struct{}, 1),
+		stopCh:       make(chan struct{}),
+		role:         roleSolo,
 		started:      time.Now(),
 		tracer:       telemetry.NewTracer(cfg.TraceEvents),
 		adm: ingest.New(ingest.Config{
@@ -288,7 +361,9 @@ func New(cfg Config) *Server {
 			BackoffMax:  cfg.FaultBackoffMax,
 			Budget:      cfg.FaultRetryBudget,
 		},
-		Observer: cfg.Observer,
+		// observeDecision wraps the caller's tap and makes every decision
+		// durable in the WAL before the round moves on.
+		Observer: s.observeDecision,
 		Tracer:   s.tracer,
 		// virtualNowLocked reads only immutable fields, so the engine may
 		// stamp trace events from any point of the reconcile path.
@@ -308,8 +383,13 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts connections on ln until Close.
+// Serve accepts connections on ln until Close. When StateDir is set it
+// first recovers durable state from the WAL (or, as a standby, starts
+// replicating the leader) — before the first scheduling round can run.
 func (s *Server) Serve(ln net.Listener) error {
+	if err := s.startDurability(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -365,12 +445,21 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.stopCh)
 	s.adm.SetDraining(true)
+	if s.w != nil {
+		// Graceful shutdown flushes and fsyncs the WAL tail before any
+		// listener closes: every acked decision is durable.
+		if err := s.w.Sync(); err != nil {
+			s.log.Error("wal sync on close failed", "err", err)
+		}
+	}
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	sc := s.standbyConn
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -378,8 +467,18 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	if sc != nil {
+		sc.Close()
+	}
 	s.kickSchedule() // wake the schedule loop so it observes closed
 	s.wg.Wait()
+	s.mu.Lock()
+	if s.w != nil {
+		if err := s.w.Close(); err != nil {
+			s.log.Error("wal close failed", "err", err)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Stop drains the daemon gracefully: new submissions are rejected while
@@ -425,7 +524,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	switch m.Type {
 	case proto.TypeRegister:
 		s.handleExecutor(conn, codec, m.Register)
-	case proto.TypeSubmit, proto.TypeSubmitBatch, proto.TypeStatus, proto.TypeInjectFault, proto.TypeTrace:
+	case proto.TypeReplSubscribe:
+		if m.ReplSubscribe != nil {
+			s.handleReplSubscribe(conn, codec, m.ReplSubscribe)
+		}
+	case proto.TypeSubmit, proto.TypeSubmitBatch, proto.TypeStatus, proto.TypeInjectFault,
+		proto.TypeTrace, proto.TypeDebugCrash:
 		s.handleClient(conn, codec, m)
 	default:
 		s.log.Warn("unexpected first message", "type", m.Type)
@@ -438,6 +542,21 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 	e := &executorConn{id: reg.MachineID, gpus: reg.GPUs, free: reg.GPUs,
 		codec: codec, conn: conn, leaseExpiry: time.Now().Add(s.cfg.LivenessTimeout)}
 	s.mu.Lock()
+	// Fencing: an executor that has seen a higher election term carries
+	// proof this daemon was deposed; and a standby/fenced daemon serves
+	// no executors at all.
+	if reg.SeenTerm > s.term.Load() {
+		s.fenceLocked(reg.SeenTerm)
+	}
+	if s.notLeader.Load() {
+		role, term := s.role, s.term.Load()
+		s.mu.Unlock()
+		_ = e.send(&proto.Message{Type: proto.TypeRegisterAck,
+			RegisterAck: &proto.RegisterAck{OK: false, Term: term,
+				Reason: "not_leader: daemon is " + role}})
+		conn.Close()
+		return
+	}
 	if _, dup := s.executors[e.id]; dup || reg.GPUs <= 0 {
 		s.mu.Unlock()
 		_ = e.send(&proto.Message{Type: proto.TypeRegisterAck,
@@ -453,8 +572,18 @@ func (s *Server) handleExecutor(conn net.Conn, codec *proto.Codec, reg *proto.Re
 		// is the live-path analogue of a repair event.
 		s.faults.Repairs++
 	}
+	// Adoption: re-bind groups the executor kept running across our
+	// crash or a failover. Anything not adopted is the executor's to
+	// kill (its jobs were requeued or reassigned meanwhile).
+	var adopted []int64
+	for i := range reg.Groups {
+		if s.adoptGroupLocked(e, &reg.Groups[i]) {
+			adopted = append(adopted, reg.Groups[i].GroupID)
+		}
+	}
 	s.mu.Unlock()
-	ack := &proto.RegisterAck{OK: true, LeaseTTL: s.cfg.LivenessTimeout}
+	ack := &proto.RegisterAck{OK: true, LeaseTTL: s.cfg.LivenessTimeout,
+		Term: s.term.Load(), AdoptedGroups: adopted}
 	if err := e.send(&proto.Message{Type: proto.TypeRegisterAck, RegisterAck: ack}); err != nil {
 		s.dropExecutor(e)
 		return
@@ -501,7 +630,19 @@ func (s *Server) dropExecutor(e *executorConn) {
 	}
 	e.gone = true
 	delete(s.executors, e.id)
+	if s.closed {
+		// The daemon is dying, not the machine: connections drop because
+		// Close/Crash closed them. Leave the jobs bound so recovery sees
+		// them as running orphans (the executor re-offers them for
+		// adoption), and emit nothing into a stream the WAL no longer
+		// accepts.
+		return
+	}
 	s.faults.Crashes++
+	// One machine-loss record up front carries the origin; the requeue
+	// decisions that follow are logged by the engine observer.
+	s.walAppendLocked(&wal.Record{Kind: wal.KindFault,
+		Fault: &wal.FaultRecord{Origin: e.id, Err: "executor lost"}})
 	// Release any profiling dry run the dead executor was serving, so the
 	// next scheduling round re-requests it from a healthy machine (a
 	// request stuck on a hung executor would otherwise block its model's
@@ -525,6 +666,7 @@ func (s *Server) dropExecutor(e *executorConn) {
 		g := s.groups[gid]
 		for _, jid := range g.jobs {
 			if js := s.jobs[jid]; js != nil && s.eng.PhaseOf(job.ID(jid)) == engine.PhaseRunning {
+				s.walProgressLocked(js)
 				s.eng.Requeue(job.ID(jid), engine.ReasonMachineLost)
 				js.groupID = 0
 				js.faultLog = append(js.faultLog,
@@ -580,6 +722,20 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 				ack.Trace = data
 			}
 			reply = proto.Message{Type: proto.TypeTraceAck, TraceAck: &ack}
+		case proto.TypeDebugCrash:
+			ack := proto.DebugCrashAck{OK: true}
+			switch {
+			case !s.cfg.UnsafeDebug:
+				ack.OK = false
+				ack.Err = "debug interface disabled (run murisched -unsafe-debug)"
+			case m.DebugCrash == nil || m.DebugCrash.Point == "":
+				ack.OK = false
+				ack.Err = "debug crash needs a point name"
+			default:
+				crashpoint.Arm(m.DebugCrash.Point)
+				s.log.Warn("crash point armed", "point", m.DebugCrash.Point)
+			}
+			reply = proto.Message{Type: proto.TypeDebugCrashAck, DebugCrashAck: &ack}
 		default:
 			s.log.Warn("unexpected client message", "type", m.Type)
 			return
@@ -602,6 +758,9 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 // while a planning round holds the scheduling lock. The returned ID is
 // final (assigned in arrival order under the admitter's lock).
 func (s *Server) submit(spec proto.JobSpec) (int64, error) {
+	if s.notLeader.Load() {
+		return 0, errNotLeader
+	}
 	if spec.Iterations <= 0 {
 		return 0, errors.New("server: job needs a positive iteration count")
 	}
@@ -655,6 +814,9 @@ func (s *Server) drainIngestLocked() {
 	for i := range items {
 		s.admitLocked(&items[i], now)
 	}
+	// The admission batch becomes durable as one record: a recovered
+	// daemon re-admits exactly these jobs in exactly this order.
+	s.walAdmitLocked(items)
 	s.batchHist.Observe(float64(len(items)))
 	if s.adm.Depth() > 0 {
 		// A bounded batch left items behind; run another round promptly.
@@ -735,6 +897,8 @@ func (s *Server) onProfiled(p *proto.Profiled) {
 		return
 	}
 	s.profiles[p.Model] = p.Stages
+	s.walAppendLocked(&wal.Record{Kind: wal.KindProfile,
+		Profile: &wal.ProfileRecord{Model: p.Model, Stages: p.Stages}})
 	var st workload.StageTimes
 	copy(st[:], p.Stages[:])
 	for id, js := range s.jobs {
@@ -779,15 +943,23 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	js := s.jobs[d.JobID]
-	if js == nil || !s.eng.SetPhase(job.ID(d.JobID), engine.PhaseDone) {
-		// Unknown job, or the state machine rejected the transition (the
-		// job already completed); either way there is nothing to finalize.
+	if js == nil || (js.groupID != 0 && js.groupID != d.GroupID) {
+		// Unknown job, or a stale report from a group the job no longer
+		// belongs to (an executor that kept running through a failover can
+		// replay events for reassigned work).
+		return
+	}
+	if !s.eng.SetPhase(job.ID(d.JobID), engine.PhaseDone) {
+		// The state machine rejected the transition (the job already
+		// completed); nothing to finalize.
 		return
 	}
 	js.finishedAt = time.Now()
 	js.job.DoneIterations = js.job.Iterations
 	js.job.State = job.Done
 	js.job.FinishedAt = s.virtualNowLocked()
+	s.walAppendLocked(&wal.Record{Kind: wal.KindDone, Done: &wal.DoneRecord{
+		Job: d.JobID, FinishedWall: js.finishedAt.UnixNano(), FinishedV: int64(js.job.FinishedAt)}})
 	jct := time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
 	s.jctHist.Observe(jct.Seconds())
 	s.detachFromGroupLocked(d.GroupID, d.JobID)
@@ -803,6 +975,10 @@ func (s *Server) onFault(f *proto.Fault, from string) {
 	defer s.mu.Unlock()
 	js := s.jobs[f.JobID]
 	if js == nil || s.eng.PhaseOf(job.ID(f.JobID)) == engine.PhaseDone {
+		return
+	}
+	if js.groupID != 0 && js.groupID != f.GroupID {
+		// Stale fault from a group the job was already detached from.
 		return
 	}
 	origin := f.Machine
@@ -821,17 +997,23 @@ func (s *Server) onFault(f *proto.Fault, from string) {
 // remaining iterations. Callers hold s.mu.
 func (s *Server) recordJobFaultLocked(js *jobState, origin, errMsg string) {
 	id := job.ID(js.spec.ID)
+	s.walProgressLocked(js)
 	js.faultLog = append(js.faultLog, faultRecord{at: time.Now(), executor: origin, err: errMsg})
 	js.groupID = 0
 	s.faults.Transient++
 	backoff, deadlettered := s.eng.RecordFault(id)
+	fr := &wal.FaultRecord{Job: js.spec.ID, Origin: origin, Err: errMsg,
+		Faults: s.eng.FaultsOf(id), DeadLettered: deadlettered}
 	if deadlettered {
+		s.walAppendLocked(&wal.Record{Kind: wal.KindFault, Fault: fr})
 		s.faults.DeadLettered++
 		s.log.Error("job dead-lettered", "job", js.spec.ID, "faults", s.eng.FaultsOf(id),
 			"machine", origin, "err", errMsg)
 		return
 	}
 	js.notBefore = time.Now().Add(backoff)
+	fr.NotBeforeWall = js.notBefore.UnixNano()
+	s.walAppendLocked(&wal.Record{Kind: wal.KindFault, Fault: fr})
 	s.faults.Requeues++
 	s.log.Warn("job faulted; requeued", "job", js.spec.ID, "machine", origin, "err", errMsg,
 		"fault", s.eng.FaultsOf(id), "backoff", backoff,
@@ -903,9 +1085,15 @@ func (s *Server) kickSchedule() {
 
 // scheduleLocked runs one scheduling round. Callers hold s.mu.
 func (s *Server) scheduleLocked() {
+	// A standby or fenced daemon plans nothing: its engine state is
+	// either a replica (applied only at promotion) or deposed.
+	if s.notLeader.Load() {
+		return
+	}
 	// Batched admission first: every submission accepted since the last
 	// round joins the candidate set in one engine round.
 	s.drainIngestLocked()
+	crashpoint.Hit(crashpoint.MidRound)
 	// Worker-monitor liveness: evict executors whose lease expired. A
 	// hung machine keeps its TCP connection open, so read errors alone
 	// are not enough.
@@ -925,6 +1113,16 @@ func (s *Server) scheduleLocked() {
 	}
 	if s.draining {
 		// Drain: in-flight groups run to completion, nothing new launches.
+		return
+	}
+	// Periodic full-state checkpoint; recovery replays only the tail
+	// past it, and the WAL prunes segments below it.
+	if s.w != nil && time.Since(s.lastSnap) >= s.cfg.SnapshotEvery {
+		s.snapshotLocked()
+	}
+	// Post-recovery adoption grace: hold rounds while recovered running
+	// jobs wait for their executors to re-register.
+	if s.freezeForAdoptionLocked(wallNow) {
 		return
 	}
 	// Retry profiling for jobs stuck without an executor earlier.
@@ -1063,6 +1261,7 @@ func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) (int
 	}
 	msg := &proto.Message{Type: proto.TypeLaunch, Launch: &proto.Launch{
 		GroupID:     gid,
+		Key:         key,
 		GPUs:        u.GPUs,
 		Jobs:        specs,
 		TimeScale:   s.cfg.TimeScale,
@@ -1083,6 +1282,13 @@ func (s *Server) launchLocked(exec *executorConn, u sched.Unit, key string) (int
 			js.job.StartedAt = s.virtualNowLocked()
 		}
 	}
+	if s.w != nil {
+		gr := &wal.GroupRecord{ID: gid, Members: make([]wal.GroupMember, len(ids))}
+		for i, id := range ids {
+			gr.Members[i] = wal.GroupMember{Job: id, StartedV: int64(s.jobs[id].job.StartedAt)}
+		}
+		s.walAppendLocked(&wal.Record{Kind: wal.KindGroup, Group: gr})
+	}
 	return gid, true
 }
 
@@ -1096,6 +1302,9 @@ func (s *Server) killGroupLocked(gid int64) {
 	_ = g.exec.send(&proto.Message{Type: proto.TypeKill, Kill: &proto.Kill{GroupID: gid}})
 	for _, id := range g.jobs {
 		if js := s.jobs[id]; js != nil && s.eng.PhaseOf(job.ID(id)) == engine.PhaseRunning {
+			// Checkpoint progress before the kill decision lands in the WAL,
+			// so recovery resumes the member from its last reported iteration.
+			s.walProgressLocked(js)
 			s.eng.SetPhase(job.ID(id), engine.PhasePending)
 			js.groupID = 0
 			js.job.Restarts++
@@ -1222,5 +1431,6 @@ func (s *Server) status() proto.StatusAck {
 			"max_jct_s": jctMax.Seconds(),
 		}
 	}
+	ack.Durability = s.durabilitySummaryLocked()
 	return ack
 }

@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"muri/internal/ingest"
 	"muri/internal/metrics"
@@ -109,6 +110,92 @@ func (s *Server) initMetrics() {
 		metrics.ExponentialBounds(1, 2, 16)...)
 	s.roundHist = r.Histogram("muri_round_latency_seconds",
 		"Wall-clock latency of scheduling rounds.",
+		metrics.ExponentialBounds(1e-6, 10, 8)...)
+
+	// Durability & failover. Everything is func-backed off the same
+	// state the status RPC's DurabilitySummary reads, so the two can
+	// never disagree; all figures read 0 when the WAL is disabled.
+	walCounter := func(pick func() uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.w == nil {
+				return 0
+			}
+			return pick()
+		}
+	}
+	r.CounterFunc("muri_wal_appends_total", "Records appended to the WAL.",
+		walCounter(func() uint64 { a, _, _, _ := s.w.Stats(); return a }))
+	r.CounterFunc("muri_wal_fsyncs_total", "WAL fsync batches flushed to disk.",
+		walCounter(func() uint64 { _, f, _, _ := s.w.Stats(); return f }))
+	r.CounterFunc("muri_wal_replayed_total", "Records replayed from the WAL at the last recovery.",
+		walCounter(func() uint64 { return uint64(s.walReplayed) }))
+	walGauge := func(pick func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.w == nil {
+				return 0
+			}
+			return pick()
+		}
+	}
+	r.GaugeFunc("muri_wal_lsn", "Last assigned WAL log sequence number.",
+		walGauge(func() float64 { return float64(s.w.Position().LSN) }))
+	r.GaugeFunc("muri_wal_segment", "Active WAL segment number (its first LSN).",
+		walGauge(func() float64 { return float64(s.w.Position().Segment) }))
+	r.GaugeFunc("muri_wal_offset", "Write offset into the active WAL segment.",
+		walGauge(func() float64 { return float64(s.w.Position().Offset) }))
+	r.GaugeFunc("muri_wal_snapshot_lsn", "LSN of the newest durable snapshot.",
+		walGauge(func() float64 { _, _, lsn, _ := s.w.Stats(); return float64(lsn) }))
+	r.GaugeFunc("muri_wal_snapshot_age_seconds", "Age of the newest durable snapshot.",
+		walGauge(func() float64 {
+			_, _, _, wall := s.w.Stats()
+			if wall == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, wall)).Seconds()
+		}))
+	r.GaugeFunc("muri_role", "Daemon election role (0 solo, 1 leader, 2 standby, 3 fenced).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			switch s.role {
+			case roleLeader:
+				return 1
+			case roleStandby:
+				return 2
+			case roleFenced:
+				return 3
+			}
+			return 0
+		})
+	r.GaugeFunc("muri_term", "Current election term.",
+		func() float64 { return float64(s.term.Load()) })
+	r.GaugeFunc("muri_repl_standbys", "Standbys attached to the replication stream.",
+		func() float64 {
+			s.replMu.Lock()
+			defer s.replMu.Unlock()
+			n := 0
+			for _, sub := range s.subs {
+				if !sub.gone {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("muri_repl_lag_records", "Replication lag in WAL records (leader: max over standbys).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.replLagLocked())
+		})
+	s.fsyncHist = r.Histogram("muri_wal_fsync_seconds",
+		"WAL fsync batch latency.",
+		metrics.ExponentialBounds(1e-6, 10, 8)...)
+	s.applyLagHist = r.Histogram("muri_repl_apply_lag_seconds",
+		"Standby apply lag behind the leader append (wall clock).",
 		metrics.ExponentialBounds(1e-6, 10, 8)...)
 }
 

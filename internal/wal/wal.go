@@ -1,0 +1,688 @@
+// Package wal is the daemon's durability layer: an append-only,
+// checksummed write-ahead log of every recoverable mutation (engine
+// decisions, admission batches, fault-ledger changes) plus periodic
+// full-state snapshots, so recovery is snapshot-load + tail-replay.
+//
+// On-disk layout inside the state dir:
+//
+//	wal-<firstLSN>.seg   length-prefixed records: [len u32][crc32c u32][json]
+//	snap-<LSN>.snap      one framed wal.Snapshot record
+//
+// Records carry monotonically increasing LSNs. Appends are buffered in
+// user space and fsynced every Options.SyncEvery records (and on
+// Sync/Close), so a crash loses at most the unsynced tail — recovery
+// treats a torn or corrupt record as the end of the log, truncates it,
+// and resumes from the last durable prefix. The same byte frames are
+// streamed verbatim to warm standbys, whose replica WALs are therefore
+// byte-identical to the leader's.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sync"
+
+	"muri/internal/crashpoint"
+)
+
+const (
+	frameHeader = 8 // 4-byte big-endian length + 4-byte CRC32-C of the payload
+	// MaxRecordSize bounds a single record payload; anything larger in a
+	// length prefix is corruption, not a record.
+	MaxRecordSize = 16 << 20
+
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Corruption reports where a WAL scan stopped: the segment's first LSN,
+// the byte offset of the bad frame inside that segment, and why. A torn
+// tail (crash mid-write) surfaces here and is expected; recovery
+// truncates it and continues from the preceding record.
+type Corruption struct {
+	Segment uint64
+	Offset  int64
+	Reason  string
+}
+
+func (c *Corruption) Error() string {
+	return fmt.Sprintf("wal: corrupt record in segment %d at offset %d: %s", c.Segment, c.Offset, c.Reason)
+}
+
+// Position identifies a point in the log for status reporting.
+type Position struct {
+	// Segment is the first LSN of the active segment file.
+	Segment uint64
+	// Offset is the byte offset within the active segment (including
+	// user-space buffered bytes not yet written through).
+	Offset int64
+	// LSN is the last assigned LSN (0 when the log is empty).
+	LSN uint64
+}
+
+// Options configures a Writer.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the active one grows
+	// past this size. Default 8 MiB.
+	SegmentBytes int64
+	// SyncEvery fsyncs after this many appended records. 1 = every
+	// record; larger values batch fsyncs and widen the loss window by
+	// the same count. Default 64.
+	SyncEvery int
+	// OnSync observes each fsync: its latency and how many records it
+	// made durable. Telemetry hook; may be nil.
+	OnSync func(d time.Duration, records int)
+	// OnAppend observes each appended frame (header + payload, the exact
+	// bytes on disk) under the writer lock, in LSN order. Replication
+	// tap; may be nil. The slice is only valid during the call.
+	OnAppend func(lsn uint64, frame []byte)
+}
+
+func (o *Options) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+}
+
+// Writer appends records to the log. Safe for concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f        *os.File
+	bw       *bufio.Writer
+	segFirst uint64 // first LSN of the active segment
+	segOff   int64  // bytes appended to the active segment (incl. buffered)
+	nextLSN  uint64
+	pending  int // records appended since the last fsync
+	closed   bool
+
+	appends   uint64
+	fsyncs    uint64
+	snapLSN   uint64
+	snapWall  int64
+	snapValid bool
+	scratch   []byte
+}
+
+// Open prepares dir for appending. It scans existing segments to find
+// the next LSN, truncates any torn tail left by a crash, and starts a
+// fresh segment. Open never discards durable records: the caller is
+// expected to Recover(dir) first and replay what Open will preserve.
+func Open(dir string, opts Options) (*Writer, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Truncate a torn tail in place so the on-disk prefix is exactly the
+	// replayable one; otherwise records appended after it would be
+	// unreachable behind a permanently corrupt frame.
+	if c := rec.Corruption; c != nil {
+		seg := filepath.Join(dir, segName(c.Segment))
+		if err := os.Truncate(seg, c.Offset); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	w := &Writer{dir: dir, opts: opts, nextLSN: rec.NextLSN}
+	if w.nextLSN == 0 {
+		w.nextLSN = 1
+	}
+	if s := rec.Snapshot; s != nil {
+		w.snapLSN = s.LSN
+		w.snapWall = s.TakenWall
+		w.snapValid = true
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstLSN, segSuffix)
+}
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix)
+}
+
+// openSegmentLocked starts a new segment whose first record will be
+// nextLSN. Caller holds w.mu (or is constructing w).
+func (w *Writer) openSegmentLocked() error {
+	if w.bw != nil {
+		if err := w.flushLocked(true); err != nil {
+			return err
+		}
+		w.f.Close()
+	}
+	path := filepath.Join(w.dir, segName(w.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.segFirst = w.nextLSN
+	w.segOff = 0
+	return syncDir(w.dir)
+}
+
+// frame encodes payload into buf as [len][crc][payload], reusing buf.
+func frame(buf []byte, payload []byte) []byte {
+	buf = buf[:0]
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Append assigns the next LSN to rec, encodes and buffers it, and
+// fsyncs if the batch threshold is reached. It returns the assigned LSN.
+func (w *Writer) Append(rec *Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("wal: writer closed")
+	}
+	rec.LSN = w.nextLSN
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	w.scratch = frame(w.scratch, payload)
+	return rec.LSN, w.appendFrameLocked(rec.LSN, w.scratch)
+}
+
+// AppendRaw appends an already-framed record (as delivered by a
+// leader's OnAppend tap) verbatim. The embedded LSN must be the next
+// one; a gap means the replication stream dropped records.
+func (w *Writer) AppendRaw(lsn uint64, fr []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer closed")
+	}
+	if lsn != w.nextLSN {
+		return fmt.Errorf("wal: raw append LSN %d, want %d", lsn, w.nextLSN)
+	}
+	if len(fr) < frameHeader {
+		return errors.New("wal: raw frame shorter than header")
+	}
+	return w.appendFrameLocked(lsn, fr)
+}
+
+func (w *Writer) appendFrameLocked(lsn uint64, fr []byte) error {
+	if _, err := w.bw.Write(fr); err != nil {
+		return err
+	}
+	w.segOff += int64(len(fr))
+	w.nextLSN = lsn + 1
+	w.pending++
+	w.appends++
+	if w.opts.OnAppend != nil {
+		w.opts.OnAppend(lsn, fr)
+	}
+	if w.pending >= w.opts.SyncEvery {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if w.segOff >= w.opts.SegmentBytes {
+		return w.openSegmentLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment. After it
+// returns, every appended record survives a crash.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer closed")
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error { return w.flushLocked(true) }
+
+func (w *Writer) flushLocked(fsync bool) error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if !fsync || w.pending == 0 {
+		return nil
+	}
+	// The torn-tail window: buffered bytes are in the page cache but not
+	// durable until the fsync below.
+	crashpoint.Hit(crashpoint.MidFsync)
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	n := w.pending
+	w.pending = 0
+	w.fsyncs++
+	if w.opts.OnSync != nil {
+		w.opts.OnSync(time.Since(start), n)
+	}
+	return nil
+}
+
+// Position reports the active segment, its append offset, and the last
+// assigned LSN.
+func (w *Writer) Position() Position {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Position{Segment: w.segFirst, Offset: w.segOff, LSN: w.nextLSN - 1}
+}
+
+// Stats reports lifetime append and fsync counts plus the latest
+// snapshot's LSN and wall time (0 if none).
+func (w *Writer) Stats() (appends, fsyncs, snapLSN uint64, snapWall int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.fsyncs, w.snapLSN, w.snapWall
+}
+
+// WriteSnapshot persists s atomically (temp file + rename), records it
+// as the latest checkpoint, and prunes snapshots and segments wholly
+// covered by it. s.LSN must reflect every record already appended.
+func (w *Writer) WriteSnapshot(s *Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer closed")
+	}
+	// Records the snapshot claims to cover must be durable before the
+	// snapshot can supersede them.
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	fr := frame(nil, payload)
+	tmp := filepath.Join(w.dir, snapName(s.LSN)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(fr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The crash window: the temp file exists but was not published; a
+	// restart ignores *.tmp and recovers from the previous snapshot.
+	crashpoint.Hit(crashpoint.MidSnapshot)
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapName(s.LSN))); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	w.snapLSN = s.LSN
+	w.snapWall = s.TakenWall
+	w.snapValid = true
+	w.pruneLocked()
+	return nil
+}
+
+// SnapshotRaw returns the latest published snapshot's framed bytes and
+// LSN, for seeding a standby. ok is false when no snapshot exists.
+func (w *Writer) SnapshotRaw() (fr []byte, lsn uint64, ok bool, err error) {
+	w.mu.Lock()
+	lsn, valid := w.snapLSN, w.snapValid
+	w.mu.Unlock()
+	if !valid {
+		return nil, 0, false, nil
+	}
+	fr, err = os.ReadFile(filepath.Join(w.dir, snapName(lsn)))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return fr, lsn, true, nil
+}
+
+// InstallSnapshot replaces the entire local log with a leader-supplied
+// framed snapshot: all local segments and snapshots are deleted, the
+// snapshot is published, and appending resumes at its LSN + 1. Standby
+// bootstrap only — it discards local history by design.
+func (w *Writer) InstallSnapshot(fr []byte) (*Snapshot, error) {
+	payload, _, err := decodeFrame(fr)
+	if err != nil {
+		return nil, fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, errors.New("wal: writer closed")
+	}
+	if w.bw != nil {
+		w.bw.Flush()
+		w.f.Close()
+		w.bw, w.f = nil, nil
+	}
+	names, err := stateFiles(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if err := os.Remove(filepath.Join(w.dir, n)); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, snapName(s.LSN)), fr, 0o644); err != nil {
+		return nil, err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return nil, err
+	}
+	w.snapLSN = s.LSN
+	w.snapWall = s.TakenWall
+	w.snapValid = true
+	w.nextLSN = s.LSN + 1
+	w.pending = 0
+	return &s, w.openSegmentLocked()
+}
+
+// pruneLocked removes snapshots older than the latest and segments
+// whose every record is covered by the latest snapshot.
+func (w *Writer) pruneLocked() {
+	names, err := stateFiles(w.dir)
+	if err != nil {
+		return
+	}
+	var segs []uint64
+	for _, n := range names {
+		if lsn, ok := parseName(n, snapPrefix, snapSuffix); ok && lsn < w.snapLSN {
+			os.Remove(filepath.Join(w.dir, n))
+		}
+		if lsn, ok := parseName(n, segPrefix, segSuffix); ok {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	// A segment's records end where the next segment begins; only drop
+	// segments wholly below the snapshot (never the active one).
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] <= w.snapLSN+1 && segs[i] != w.segFirst {
+			os.Remove(filepath.Join(w.dir, segName(segs[i])))
+		}
+	}
+}
+
+// Close fsyncs the tail and closes the active segment. The graceful
+// counterpart of Abandon.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	err := w.flushLocked(true)
+	w.closed = true
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon closes the file descriptor without flushing user-space
+// buffers: everything since the last fsync is lost, exactly as in a
+// crash. Test hook for in-process kill -9 simulation.
+func (w *Writer) Abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.f.Close()
+}
+
+// Recovery is the result of scanning a state dir: the latest loadable
+// snapshot (nil if none), every decoded record after it in LSN order,
+// the next LSN to append at, and — when the scan stopped early — where
+// and why.
+type Recovery struct {
+	Snapshot   *Snapshot
+	Records    []Record
+	NextLSN    uint64
+	Corruption *Corruption
+}
+
+// Recover scans dir without mutating it. It loads the newest snapshot
+// that decodes (falling back to older ones if the newest is corrupt),
+// then replays segment records with LSN > snapshot LSN. The scan stops
+// at the first corrupt or torn record — reported, never panicked on —
+// treating everything before it as the durable prefix.
+func Recover(dir string) (*Recovery, error) {
+	names, err := stateFiles(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Recovery{NextLSN: 1}, nil
+		}
+		return nil, err
+	}
+	var snaps, segs []uint64
+	for _, n := range names {
+		if lsn, ok := parseName(n, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, lsn)
+		}
+		if lsn, ok := parseName(n, segPrefix, segSuffix); ok {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	rec := &Recovery{NextLSN: 1}
+	for _, lsn := range snaps {
+		s, err := readSnapshot(filepath.Join(dir, snapName(lsn)))
+		if err != nil {
+			continue // corrupt snapshot: fall back to the previous one
+		}
+		rec.Snapshot = s
+		rec.NextLSN = s.LSN + 1
+		break
+	}
+
+	last := rec.NextLSN - 1 // highest LSN accepted so far
+scan:
+	for _, first := range segs {
+		f, err := os.Open(filepath.Join(dir, segName(first)))
+		if err != nil {
+			return nil, err
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		var off int64
+		for {
+			payload, n, err := readFrame(br)
+			if err == io.EOF {
+				break // clean segment end
+			}
+			if err != nil {
+				rec.Corruption = &Corruption{Segment: first, Offset: off, Reason: err.Error()}
+				f.Close()
+				break scan
+			}
+			var r Record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				rec.Corruption = &Corruption{Segment: first, Offset: off, Reason: "record json: " + err.Error()}
+				f.Close()
+				break scan
+			}
+			off += n
+			if r.LSN <= last {
+				continue // covered by the snapshot (or duplicate segment prefix)
+			}
+			if last > 0 && r.LSN != last+1 {
+				rec.Corruption = &Corruption{Segment: first, Offset: off - n, Reason: fmt.Sprintf("LSN gap: got %d, want %d", r.LSN, last+1)}
+				f.Close()
+				break scan
+			}
+			last = r.LSN
+			rec.Records = append(rec.Records, r)
+		}
+		f.Close()
+	}
+	if last+1 > rec.NextLSN {
+		rec.NextLSN = last + 1
+	}
+	return rec, nil
+}
+
+// readFrame reads one [len][crc][payload] frame, returning the payload
+// and the total bytes consumed. io.EOF means a clean boundary; any
+// other error means a torn or corrupt frame.
+func readFrame(br *bufio.Reader) ([]byte, int64, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return nil, 0, io.EOF // nothing left: clean end
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return nil, 0, errors.New("torn frame header")
+	}
+	size := binary.BigEndian.Uint32(hdr[0:4])
+	if size == 0 || size > MaxRecordSize {
+		return nil, 0, fmt.Errorf("implausible record length %d", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, errors.New("torn frame payload")
+	}
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("checksum mismatch: got %08x, want %08x", got, want)
+	}
+	return payload, int64(frameHeader) + int64(size), nil
+}
+
+// decodeFrame validates a single standalone frame (snapshot files,
+// replicated frames) and returns its payload.
+func decodeFrame(fr []byte) (payload []byte, consumed int64, err error) {
+	if len(fr) < frameHeader {
+		return nil, 0, errors.New("frame shorter than header")
+	}
+	size := binary.BigEndian.Uint32(fr[0:4])
+	if size == 0 || size > MaxRecordSize {
+		return nil, 0, fmt.Errorf("implausible record length %d", size)
+	}
+	if int64(len(fr)) < int64(frameHeader)+int64(size) {
+		return nil, 0, errors.New("frame shorter than its length prefix")
+	}
+	payload = fr[frameHeader : frameHeader+int(size)]
+	want := binary.BigEndian.Uint32(fr[4:8])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("checksum mismatch: got %08x, want %08x", got, want)
+	}
+	return payload, int64(frameHeader) + int64(size), nil
+}
+
+// DecodeRawRecord decodes one replicated frame into a Record. Standby
+// side of the replication stream.
+func DecodeRawRecord(fr []byte) (*Record, error) {
+	payload, _, err := decodeFrame(fr)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, fmt.Errorf("record json: %w", err)
+	}
+	return &r, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := decodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func stateFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, segSuffix) || strings.HasSuffix(n, snapSuffix) {
+			names = append(names, n)
+		}
+	}
+	return names, nil
+}
+
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	var lsn uint64
+	_, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), "%d", &lsn)
+	return lsn, err == nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return nil // tolerate filesystems that refuse directory fsync
+	}
+	return nil
+}
