@@ -43,7 +43,7 @@ smoke-recover:
 # BENCH_sched.json for before/after comparison. See DESIGN.md
 # "Performance architecture" and §6.
 bench-sched:
-	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability' \
+	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability|PredictionOnline' \
 		-benchtime 3x -benchmem -json . | tee BENCH_sched.json
 
 # End-to-end scale runs: the 2,000- and 5,755-job Philly traces replayed

@@ -20,6 +20,7 @@ import (
 	"muri/internal/interleave"
 	"muri/internal/job"
 	"muri/internal/metrics"
+	"muri/internal/profile"
 	"muri/internal/sched"
 	"muri/internal/sim"
 	"muri/internal/trace"
@@ -346,6 +347,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal("incomplete run")
 		}
 	}
+}
+
+// BenchmarkPredictionOnline times a full prediction-mode run (DESIGN.md
+// §13): the 250-job trace under ±50% profile drift with the online
+// estimator learning from completions and SRTF ranking by its
+// predictions. Reported metrics track the prediction-mode row in
+// BENCH_sched.json: the estimator's mean absolute relative error, how
+// many completions were scored, and how many beliefs were re-seeded.
+func BenchmarkPredictionOnline(b *testing.B) {
+	tr := benchTrace()
+	var meanErr float64
+	var scored, reseeds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := profile.NewOnline()
+		cfg := sim.DefaultConfig()
+		cfg.Estimator = est
+		cfg.Drift = &profile.Drift{Amplitude: 0.5, Seed: 11}
+		res := sim.Run(cfg, tr, sched.SRTFPredicted(est))
+		if res.Summary.Jobs != len(tr.Specs) {
+			b.Fatal("incomplete run")
+		}
+		meanErr, scored = est.Error()
+		_, _, reseeds = est.Stats()
+	}
+	b.ReportMetric(meanErr, "pred-err")
+	b.ReportMetric(float64(scored), "pred-scored")
+	b.ReportMetric(float64(reseeds), "pred-reseeds")
 }
 
 // benchSchedScale replays one full Philly trace end-to-end through the

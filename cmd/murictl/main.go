@@ -104,8 +104,23 @@ func main() {
 			fmt.Println(dur)
 		}
 		if e := st.Engine; e != nil {
-			fmt.Printf("engine: rounds=%d decisions=%d launches=%d preemptions=%d requeues=%d queue=%d\n",
+			line := fmt.Sprintf("engine: rounds=%d decisions=%d launches=%d preemptions=%d requeues=%d queue=%d",
 				e.Rounds, e.Decisions, e.Launches, e.Preemptions, e.Requeues, e.QueueDepth)
+			if e.Reprofiles > 0 {
+				line += fmt.Sprintf(" reprofiles=%d", e.Reprofiles)
+			}
+			fmt.Println(line)
+		}
+		if p := st.Predictor; p != nil {
+			line := fmt.Sprintf("predictor: models=%d samples=%d completions=%d",
+				p.Models, p.Samples, p.Completions)
+			if p.Reseeds > 0 {
+				line += fmt.Sprintf(" reseeds=%d", p.Reseeds)
+			}
+			if p.ErrSamples > 0 {
+				line += fmt.Sprintf(" mean_abs_err=%.3f (%d scored)", p.MeanAbsErr, p.ErrSamples)
+			}
+			fmt.Println(line)
 		}
 		if in := st.Ingest; in != nil {
 			fmt.Printf("ingest: queued=%d accepted=%d rejected=%d throttled=%d batches=%d\n",

@@ -24,29 +24,41 @@ import (
 	"syscall"
 	"time"
 
+	"muri/internal/profile"
 	"muri/internal/sched"
 	"muri/internal/server"
 	"muri/internal/telemetry"
 )
 
-func policyByName(name string) (sched.Policy, error) {
+// policyByName resolves a policy; the -pred variants read their duration
+// beliefs from est, the daemon's online predictor (every completion the
+// daemon observes updates it), instead of submitted oracle profiles.
+func policyByName(name string, est *profile.Online) (sched.Policy, error) {
 	switch name {
 	case "fifo":
 		return sched.FIFO(), nil
 	case "srtf":
 		return sched.SRTF(), nil
+	case "srtf-pred":
+		return sched.SRTFPredicted(est), nil
 	case "srsf":
 		return sched.SRSF(), nil
+	case "srsf-pred":
+		return sched.SRSFPredicted(est), nil
 	case "tiresias":
 		return sched.Tiresias(), nil
 	case "themis":
 		return sched.Themis(), nil
 	case "antman":
 		return sched.AntMan{}, nil
+	case "gittins-pred":
+		return sched.NewGittinsFromEstimator(est), nil
 	case "muri-s":
 		return sched.NewMuriS(), nil
 	case "muri-l":
 		return sched.NewMuriL(), nil
+	case "muri-l-pred":
+		return sched.NewMuriLPredicted(est), nil
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
@@ -55,7 +67,7 @@ func policyByName(name string) (sched.Policy, error) {
 func main() {
 	var (
 		addr      = flag.String("addr", ":7800", "listen address")
-		policy    = flag.String("policy", "muri-l", "scheduling policy (fifo|srtf|srsf|tiresias|themis|antman|muri-s|muri-l)")
+		policy    = flag.String("policy", "muri-l", "scheduling policy (fifo|srtf|srsf|tiresias|themis|antman|muri-s|muri-l; -pred variants use the online predictor: srtf-pred|srsf-pred|muri-l-pred|gittins-pred)")
 		interval  = flag.Duration("interval", time.Second, "scheduling interval (wall time)")
 		timeScale = flag.Float64("timescale", 0.001, "virtual-to-wall time scale forwarded to executors")
 		report    = flag.Duration("report", 200*time.Millisecond, "executor progress-report period")
@@ -80,7 +92,10 @@ func main() {
 	)
 	flag.Parse()
 
-	p, err := policyByName(*policy)
+	// One predictor serves both the daemon (which feeds it completions)
+	// and any prediction-aware policy (which reads beliefs from it).
+	predictor := profile.NewOnline()
+	p, err := policyByName(*policy, predictor)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "murisched: %v\n", err)
 		os.Exit(2)
@@ -96,6 +111,7 @@ func main() {
 	}
 	srv := server.New(server.Config{
 		Policy:         p,
+		Predictor:      predictor,
 		Interval:       *interval,
 		TimeScale:      *timeScale,
 		ReportEvery:    *report,

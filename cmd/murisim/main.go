@@ -10,7 +10,7 @@
 //
 // Experiments: table1, table2, table4, table5, figure8, figure9,
 // figure10, figure11, figure12, figure13, figure14, fidelity, scale,
-// faults, all.
+// faults, prediction, all.
 //
 // The scale experiment replays the 2,000- and 5,755-job Philly traces
 // end-to-end (event-driven Muri-L), sweeps the sharded incremental
@@ -23,6 +23,12 @@
 // model at increasing failure rates (machine crashes, transient job
 // faults, stragglers) and compares how Muri-L and the SRTF/SRSF
 // baselines degrade.
+//
+// The prediction experiment drifts the execution truth away from the
+// submitted profiles at increasing amplitudes and compares oracle,
+// stale-profile, and online-estimator belief sources for SRTF and
+// Muri-L, reporting the JCT cost of imperfect prediction plus the
+// estimator's error score.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (inspect
 // with `go tool pprof`), so scheduling-path regressions can be diagnosed
@@ -172,6 +178,7 @@ func main() {
 		{"figure14", func() experiments.Table { _, t := opt.Figure14(); return t }},
 		{"scale", func() experiments.Table { _, t := opt.Scale(); return t }},
 		{"faults", func() experiments.Table { _, t := opt.Faults(); return t }},
+		{"prediction", func() experiments.Table { _, t := opt.Prediction(); return t }},
 		{"fidelity", func() experiments.Table {
 			res, err := experiments.RunFidelity(experiments.DefaultFidelityConfig())
 			if err != nil {

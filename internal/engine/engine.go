@@ -14,14 +14,17 @@
 package engine
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"time"
 
 	"muri/internal/job"
 	"muri/internal/metrics"
+	"muri/internal/profile"
 	"muri/internal/sched"
 	"muri/internal/telemetry"
+	"muri/internal/workload"
 )
 
 // Style selects how a preemptive round reconciles the running set.
@@ -70,6 +73,16 @@ type Config struct {
 	// consulted while Tracer is non-nil; when nil, decisions issued
 	// outside a round reuse the last round's timestamp.
 	Now func() time.Duration
+	// Estimator, when non-nil, receives every completion the driver
+	// reports through NoteCompletion, replacing the oracle-profile
+	// assumption with learned beliefs. Nil (the default) keeps the
+	// completion path inert and every fixed-seed run bit-identical.
+	Estimator profile.Estimator
+	// ReprofileThreshold is the relative deviation between a completion's
+	// measured iteration total and the estimator's belief beyond which
+	// the belief is discarded and re-seeded from the measurement (the
+	// engine-level re-profiling trigger). Zero uses the default of 0.25.
+	ReprofileThreshold float64
 }
 
 // DecisionSink is implemented by policies that want the decision stream
@@ -132,6 +145,9 @@ func New(cfg Config) *Engine {
 	if cfg.StarvationPatience <= 0 {
 		cfg.StarvationPatience = 5
 	}
+	if cfg.ReprofileThreshold <= 0 {
+		cfg.ReprofileThreshold = 0.25
+	}
 	sink, _ := cfg.Policy.(DecisionSink)
 	return &Engine{
 		cfg:      cfg,
@@ -144,6 +160,40 @@ func New(cfg Config) *Engine {
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() metrics.EngineStats { return e.stats }
+
+// reseeder is the optional estimator re-profiling hook (profile.Online
+// implements it); estimators without it just observe the completion.
+type reseeder interface {
+	Reseed(model string, measured workload.StageTimes, service time.Duration)
+}
+
+// NoteCompletion feeds one job completion to the configured estimator:
+// the measured per-iteration stage durations and the job's total 2D
+// service demand. When the measurement deviates from the current belief
+// beyond ReprofileThreshold, the belief is discarded and re-seeded from
+// the measurement (the re-profiling trigger); otherwise the measurement
+// folds into the running estimate. Both drivers call this — the
+// simulator at virtual completions, the daemon at real ones and during
+// WAL replay — so learned state reconstructs identically on recovery.
+// A nil estimator makes the call a no-op.
+func (e *Engine) NoteCompletion(j *job.Job, measured workload.StageTimes, service time.Duration) (reprofiled bool) {
+	est := e.cfg.Estimator
+	if est == nil {
+		return false
+	}
+	if b, ok := est.EstimateFor(j); ok && b.Samples > 0 {
+		bt, mt := b.Stages.Total().Seconds(), measured.Total().Seconds()
+		if mt > 0 && bt > 0 && math.Abs(bt-mt)/mt > e.cfg.ReprofileThreshold {
+			if r, ok := est.(reseeder); ok {
+				r.Reseed(j.Model.Name, measured, service)
+				e.stats.Reprofiles++
+				return true
+			}
+		}
+	}
+	est.ObserveCompletion(j.Model.Name, measured, service)
+	return false
+}
 
 // emit stamps and publishes one decision. Every decision also reaches
 // the policy's DecisionSink (when it has one): launches, kills,

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/profile"
+	"muri/internal/sched"
+	"muri/internal/workload"
+)
+
+// NoteCompletion must fold in-band completions into the estimator and
+// re-seed the belief when the measurement deviates past the threshold,
+// counting the re-profile in the engine stats.
+func TestNoteCompletionReprofilesOnDeviation(t *testing.T) {
+	m, err := workload.ByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := profile.NewOnline()
+	e := New(Config{Policy: sched.FIFO(), Estimator: est})
+	j := job.New(1, m, 1, 100, 0)
+
+	// In-band completions accumulate samples without re-profiling.
+	for i := 0; i < 5; i++ {
+		if e.NoteCompletion(j, m.Stages, time.Hour) {
+			t.Fatalf("in-band completion %d triggered a re-profile", i)
+		}
+	}
+	if b, ok := est.EstimateFor(j); !ok || b.Samples != 5 {
+		t.Fatalf("estimator has %d samples, want 5", b.Samples)
+	}
+
+	// A 2× deviation (threshold defaults to 0.25) re-seeds the belief.
+	if !e.NoteCompletion(j, m.Stages.Scale(2), 2*time.Hour) {
+		t.Fatal("2x deviation did not trigger a re-profile")
+	}
+	if e.Stats().Reprofiles != 1 {
+		t.Fatalf("Reprofiles = %d, want 1", e.Stats().Reprofiles)
+	}
+	b, ok := est.EstimateFor(j)
+	if !ok || b.Samples != 1 {
+		t.Fatalf("belief not re-seeded: samples = %d, want 1", b.Samples)
+	}
+	if b.Stages.Total() != m.Stages.Scale(2).Total() {
+		t.Fatalf("re-seeded belief = %v, want the deviating measurement %v",
+			b.Stages.Total(), m.Stages.Scale(2).Total())
+	}
+}
+
+// Without an estimator the completion path must be inert.
+func TestNoteCompletionNilEstimator(t *testing.T) {
+	m, err := workload.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Policy: sched.FIFO()})
+	if e.NoteCompletion(job.New(1, m, 1, 10, 0), m.Stages, time.Hour) {
+		t.Fatal("nil estimator reported a re-profile")
+	}
+	if e.Stats().Reprofiles != 0 {
+		t.Fatal("nil estimator accumulated re-profile stats")
+	}
+}

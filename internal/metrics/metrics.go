@@ -272,6 +272,10 @@ type EngineStats struct {
 	// QueueDepth is the number of candidates left unplaced after the
 	// most recent round (a gauge, not a counter).
 	QueueDepth int
+	// Reprofiles counts estimator re-seeds: completions whose measured
+	// stage times deviated from the belief beyond the engine's
+	// re-profiling threshold. Zero without an estimator.
+	Reprofiles int
 }
 
 // HeapStats describes the simulator's completion-estimate min-heap (the

@@ -1,0 +1,336 @@
+package profile
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+// Estimate is one estimator belief about a job's per-iteration stage
+// durations.
+type Estimate struct {
+	// Stages is the believed per-iteration stage-duration vector.
+	Stages workload.StageTimes
+	// Band is the relative error half-width of the belief: the estimator
+	// expects the true total to fall within Stages.Total()·(1 ± Band).
+	// Zero means exact (the oracle); 1 means "no information".
+	Band float64
+	// Samples is how many completions back the belief (0 for priors and
+	// the oracle, which needs none).
+	Samples int
+}
+
+// Estimator supplies per-job stage-duration beliefs to scheduling
+// policies and drivers, replacing the paper's oracle-profile assumption
+// (exact profiles known at submit time). Implementations must be safe
+// for concurrent use: the daemon observes completions from its schedule
+// loop while policies read estimates.
+type Estimator interface {
+	// Name identifies the estimator in reports.
+	Name() string
+	// EstimateFor returns the current belief for job j. ok=false means
+	// the estimator has no belief yet (cold start); callers fall back to
+	// the job's scheduler-visible profile.
+	EstimateFor(j *job.Job) (Estimate, bool)
+	// ObserveCompletion feeds one completed job: its measured
+	// per-iteration stage durations and its total 2D service demand
+	// (attained time × GPUs).
+	ObserveCompletion(model string, measured workload.StageTimes, service time.Duration)
+}
+
+// Oracle is the paper's assumption as an Estimator: it reads each job's
+// true profile directly, with a zero error band. Selecting it must leave
+// every fixed-seed decision stream bit-identical to a build without an
+// estimator — the golden tests pin that.
+type Oracle struct{}
+
+// NewOracle returns the oracle estimator.
+func NewOracle() Oracle { return Oracle{} }
+
+// Name implements Estimator.
+func (Oracle) Name() string { return "oracle" }
+
+// EstimateFor implements Estimator: the truth, exactly.
+func (Oracle) EstimateFor(j *job.Job) (Estimate, bool) {
+	return Estimate{Stages: j.TrueProfile}, true
+}
+
+// ObserveCompletion implements Estimator: the oracle has nothing to learn.
+func (Oracle) ObserveCompletion(string, workload.StageTimes, time.Duration) {}
+
+// onlineModel is the running per-model estimate.
+type onlineModel struct {
+	n int
+	// mean is the incremental per-stage mean, in seconds.
+	mean [workload.NumResources]float64
+	// meanTotal/m2Total are Welford accumulators over iteration totals
+	// (seconds), driving the data-derived part of the error band.
+	meanTotal, m2Total float64
+}
+
+// priorBand is the error band reported before any completion: no
+// information, so the full relative range.
+const priorBand = 1.0
+
+// baseBand is the irreducible per-sample band floor: even identical
+// observations leave this much residual doubt, divided by √n so the band
+// keeps shrinking as evidence accrues.
+const baseBand = 0.05
+
+// Online learns per-model stage-duration estimates from completed jobs:
+// incremental per-stage means with an error band that shrinks as ~1/√n,
+// plus the completed-service history the Gittins index consumes. All
+// state is deterministic given the observation order, and it snapshots
+// to/restores from the WAL so the daemon's predictions survive restart.
+type Online struct {
+	mu     sync.Mutex
+	models map[string]*onlineModel
+	// history holds completed total service demands (gpu-seconds),
+	// sorted ascending.
+	history []float64
+	// sumAbsErr/errSamples accumulate |predicted − measured|/measured of
+	// per-iteration totals, taken against the belief in force at each
+	// completion (predictions made with ≥1 prior sample).
+	sumAbsErr  float64
+	errSamples int
+	// reseeds counts re-profiling events (Reseed calls).
+	reseeds int
+}
+
+// NewOnline returns an empty online estimator.
+func NewOnline() *Online {
+	return &Online{models: make(map[string]*onlineModel)}
+}
+
+// Name implements Estimator.
+func (o *Online) Name() string { return "online" }
+
+// EstimateFor implements Estimator: the running per-model mean, when at
+// least one completion has been observed for the job's model.
+func (o *Online) EstimateFor(j *job.Job) (Estimate, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.models[j.Model.Name]
+	if m == nil || m.n == 0 {
+		return Estimate{Band: priorBand}, false
+	}
+	var st workload.StageTimes
+	for r := 0; r < workload.NumResources; r++ {
+		st[r] = time.Duration(m.mean[r] * float64(time.Second))
+	}
+	return Estimate{Stages: st, Band: m.band(), Samples: m.n}, true
+}
+
+// band is the model's current relative error half-width: the sample
+// relative standard deviation of iteration totals plus the base floor,
+// both shrinking as 1/√n. Callers must hold o.mu.
+func (m *onlineModel) band() float64 {
+	if m.n == 0 {
+		return priorBand
+	}
+	relStd := 0.0
+	if m.n >= 2 && m.meanTotal > 0 {
+		relStd = math.Sqrt(m.m2Total/float64(m.n-1)) / m.meanTotal
+	}
+	return (relStd + baseBand) / math.Sqrt(float64(m.n))
+}
+
+// ObserveCompletion implements Estimator: fold one measured profile into
+// the model's running estimate, score the prediction it replaces, and
+// log the job's service demand for the Gittins history.
+func (o *Online) ObserveCompletion(model string, measured workload.StageTimes, service time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.observeLocked(model, measured, service)
+}
+
+func (o *Online) observeLocked(model string, measured workload.StageTimes, service time.Duration) {
+	m := o.models[model]
+	if m == nil {
+		m = &onlineModel{}
+		o.models[model] = m
+	}
+	mt := measured.Total().Seconds()
+	if m.n > 0 && mt > 0 {
+		o.sumAbsErr += math.Abs(m.meanTotal-mt) / mt
+		o.errSamples++
+	}
+	m.n++
+	for r := 0; r < workload.NumResources; r++ {
+		x := measured[r].Seconds()
+		m.mean[r] += (x - m.mean[r]) / float64(m.n)
+	}
+	d := mt - m.meanTotal
+	m.meanTotal += d / float64(m.n)
+	m.m2Total += d * (mt - m.meanTotal)
+	o.recordServiceLocked(service)
+}
+
+// recordServiceLocked inserts one completed service demand into the
+// sorted history. Callers must hold o.mu.
+func (o *Online) recordServiceLocked(service time.Duration) {
+	if service <= 0 {
+		return
+	}
+	v := service.Seconds()
+	i := sort.SearchFloat64s(o.history, v)
+	o.history = append(o.history, 0)
+	copy(o.history[i+1:], o.history[i:])
+	o.history[i] = v
+}
+
+// Reseed discards a model's stale belief and restarts it from the given
+// measurement — the re-profiling path the engine triggers when measured
+// stage times deviate from the belief beyond its threshold. The service
+// demand still enters the Gittins history.
+func (o *Online) Reseed(model string, measured workload.StageTimes, service time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.reseeds++
+	delete(o.models, model)
+	o.observeLocked(model, measured, service)
+}
+
+// ServiceHistory returns a sorted copy of the completed total service
+// demands (gpu-seconds) observed so far — the empirical prior the
+// Gittins index consumes instead of a private oracle-fed log.
+func (o *Online) ServiceHistory() []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]float64(nil), o.history...)
+}
+
+// Completions returns the lifetime completion count (the service-history
+// length; unlike per-model sample counts it never resets).
+func (o *Online) Completions() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.history)
+}
+
+// Error returns the mean absolute relative prediction error over all
+// scored completions, and how many were scored.
+func (o *Online) Error() (mean float64, samples int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.errSamples == 0 {
+		return 0, 0
+	}
+	return o.sumAbsErr / float64(o.errSamples), o.errSamples
+}
+
+// Stats summarizes the estimator for telemetry: distinct models with a
+// belief, total completions folded in, and re-profiling events.
+func (o *Online) Stats() (models, samples, reseeds int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, m := range o.models {
+		samples += m.n
+	}
+	return len(o.models), samples, o.reseeds
+}
+
+// BandFor returns the current error band for a model (priorBand when the
+// model has never been observed).
+func (o *Online) BandFor(model string) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if m := o.models[model]; m != nil {
+		return m.band()
+	}
+	return priorBand
+}
+
+// OnlineModelState is one model's serialized running estimate.
+type OnlineModelState struct {
+	N         int                            `json:"n"`
+	MeanS     [workload.NumResources]float64 `json:"mean_s"`
+	MeanTotal float64                        `json:"mean_total"`
+	M2Total   float64                        `json:"m2_total"`
+}
+
+// OnlineState is the estimator's full serialized state, carried inside
+// the daemon's WAL snapshots so predictions survive restart and ride the
+// warm-standby replication stream.
+type OnlineState struct {
+	Models     map[string]OnlineModelState `json:"models,omitempty"`
+	History    []float64                   `json:"history,omitempty"`
+	SumAbsErr  float64                     `json:"sum_abs_err,omitempty"`
+	ErrSamples int                         `json:"err_samples,omitempty"`
+	Reseeds    int                         `json:"reseeds,omitempty"`
+}
+
+// Snapshot serializes the estimator.
+func (o *Online) Snapshot() OnlineState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := OnlineState{
+		History:    append([]float64(nil), o.history...),
+		SumAbsErr:  o.sumAbsErr,
+		ErrSamples: o.errSamples,
+		Reseeds:    o.reseeds,
+	}
+	if len(o.models) > 0 {
+		st.Models = make(map[string]OnlineModelState, len(o.models))
+		for name, m := range o.models {
+			st.Models[name] = OnlineModelState{N: m.n, MeanS: m.mean, MeanTotal: m.meanTotal, M2Total: m.m2Total}
+		}
+	}
+	return st
+}
+
+// Restore replaces the estimator's state with a snapshot.
+func (o *Online) Restore(st OnlineState) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.models = make(map[string]*onlineModel, len(st.Models))
+	for name, ms := range st.Models {
+		o.models[name] = &onlineModel{n: ms.N, mean: ms.MeanS, meanTotal: ms.MeanTotal, m2Total: ms.M2Total}
+	}
+	o.history = append([]float64(nil), st.History...)
+	sort.Float64s(o.history)
+	o.sumAbsErr = st.SumAbsErr
+	o.errSamples = st.ErrSamples
+	o.reseeds = st.Reseeds
+}
+
+// Drift deterministically perturbs true stage durations away from the
+// model zoo, so simulations can model profile drift (hardware
+// heterogeneity, dataset changes, interference) without an RNG stream:
+// each (seed, job, stage) hashes to an independent multiplicative factor
+// in [1−Amplitude, 1+Amplitude]. Being hash-based rather than
+// stream-based, the perturbation is independent of job construction
+// order.
+type Drift struct {
+	// Amplitude is the maximum relative divergence per stage, in [0, 1).
+	Amplitude float64
+	// Seed selects the hash universe.
+	Seed int64
+}
+
+// Apply returns the job's drifted true stage durations.
+func (d *Drift) Apply(id int64, st workload.StageTimes) workload.StageTimes {
+	if d == nil || d.Amplitude <= 0 {
+		return st
+	}
+	var out workload.StageTimes
+	for r := 0; r < workload.NumResources; r++ {
+		u := hash01(uint64(d.Seed)*0x9e3779b97f4a7c15 ^ uint64(id)<<8 ^ uint64(r))
+		factor := 1 - d.Amplitude + 2*d.Amplitude*u
+		out[r] = time.Duration(float64(st[r]) * factor)
+	}
+	return out
+}
+
+// hash01 maps a 64-bit key to a uniform float in [0, 1) via splitmix64.
+func hash01(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/workload"
+)
+
+func testModel(t *testing.T) workload.Model {
+	t.Helper()
+	m, err := workload.ByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The oracle must report the job's true profile exactly, with a zero
+// band — it is the paper's assumption expressed as an Estimator.
+func TestOracleIsExact(t *testing.T) {
+	m := testModel(t)
+	j := job.New(1, m, 2, 100, 0)
+	j.TrueProfile = j.TrueProfile.Scale(1.3)
+	e, ok := NewOracle().EstimateFor(j)
+	if !ok {
+		t.Fatal("oracle returned no estimate")
+	}
+	if e.Stages != j.TrueProfile {
+		t.Fatalf("oracle estimate %v != true profile %v", e.Stages, j.TrueProfile)
+	}
+	if e.Band != 0 {
+		t.Fatalf("oracle band = %v, want 0", e.Band)
+	}
+}
+
+// With identical observations the online band must shrink strictly
+// monotonically: the data-derived spread is zero, so the band is the
+// base floor divided by √n.
+func TestOnlineBandShrinksMonotonically(t *testing.T) {
+	m := testModel(t)
+	o := NewOnline()
+	prev := o.BandFor(m.Name)
+	if prev != priorBand {
+		t.Fatalf("cold-start band = %v, want %v", prev, priorBand)
+	}
+	for i := 0; i < 50; i++ {
+		o.ObserveCompletion(m.Name, m.Stages, time.Hour)
+		b := o.BandFor(m.Name)
+		if b >= prev {
+			t.Fatalf("band did not shrink at n=%d: %v -> %v", i+1, prev, b)
+		}
+		prev = b
+	}
+}
+
+// Property test: with noisy observations the band still shrinks in
+// expectation — the mean band over the second half of a long observation
+// run must be below the mean over the first half, across seeds.
+func TestOnlineBandShrinksInExpectation(t *testing.T) {
+	m := testModel(t)
+	const n = 200
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOnline()
+		bands := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			factor := 0.7 + 0.6*rng.Float64() // ±30% observation noise
+			o.ObserveCompletion(m.Name, m.Stages.Scale(factor), time.Hour)
+			bands = append(bands, o.BandFor(m.Name))
+		}
+		first, second := 0.0, 0.0
+		for i, b := range bands {
+			if i < n/2 {
+				first += b
+			} else {
+				second += b
+			}
+		}
+		if second >= first {
+			t.Fatalf("seed %d: band grew in expectation: first-half sum %v, second-half sum %v",
+				seed, first, second)
+		}
+	}
+}
+
+// The online estimate must converge to the observed mean and its error
+// score must reflect how far each prediction was from the measurement.
+func TestOnlineConvergesToMean(t *testing.T) {
+	m := testModel(t)
+	o := NewOnline()
+	for i := 0; i < 20; i++ {
+		o.ObserveCompletion(m.Name, m.Stages.Scale(1.5), time.Hour)
+	}
+	j := job.New(1, m, 1, 100, 0)
+	e, ok := o.EstimateFor(j)
+	if !ok {
+		t.Fatal("no estimate after 20 observations")
+	}
+	want := m.Stages.Scale(1.5).Total()
+	got := e.Stages.Total()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.01*float64(want) {
+		t.Fatalf("estimate total %v, want ~%v", got, want)
+	}
+	if mean, samples := o.Error(); samples != 19 || mean > 1e-9 {
+		t.Fatalf("error = (%v, %d), want (~0, 19) for constant observations", mean, samples)
+	}
+}
+
+// Reseed must discard the stale belief and restart from the new
+// measurement — the engine's re-profiling path.
+func TestOnlineReseed(t *testing.T) {
+	m := testModel(t)
+	o := NewOnline()
+	for i := 0; i < 10; i++ {
+		o.ObserveCompletion(m.Name, m.Stages, time.Hour)
+	}
+	o.Reseed(m.Name, m.Stages.Scale(2), 2*time.Hour)
+	j := job.New(1, m, 1, 100, 0)
+	e, _ := o.EstimateFor(j)
+	if e.Samples != 1 {
+		t.Fatalf("samples after reseed = %d, want 1", e.Samples)
+	}
+	want := m.Stages.Scale(2).Total()
+	if e.Stages.Total() != want {
+		t.Fatalf("estimate after reseed = %v, want %v", e.Stages.Total(), want)
+	}
+	if _, _, reseeds := o.Stats(); reseeds != 1 {
+		t.Fatalf("reseeds = %d, want 1", reseeds)
+	}
+}
+
+// Snapshot/Restore must round-trip every observable: estimates, bands,
+// error accounting, and the Gittins service history.
+func TestOnlineSnapshotRoundTrip(t *testing.T) {
+	m := testModel(t)
+	o := NewOnline()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		o.ObserveCompletion(m.Name, m.Stages.Scale(0.8+0.4*rng.Float64()),
+			time.Duration(1+rng.Intn(100))*time.Minute)
+	}
+	restored := NewOnline()
+	restored.Restore(o.Snapshot())
+	j := job.New(1, m, 1, 100, 0)
+	a, _ := o.EstimateFor(j)
+	b, _ := restored.EstimateFor(j)
+	if a != b {
+		t.Fatalf("estimate changed across snapshot: %+v vs %+v", a, b)
+	}
+	am, as := o.Error()
+	bm, bs := restored.Error()
+	if am != bm || as != bs {
+		t.Fatalf("error accounting changed: (%v,%d) vs (%v,%d)", am, as, bm, bs)
+	}
+	ha, hb := o.ServiceHistory(), restored.ServiceHistory()
+	if len(ha) != len(hb) {
+		t.Fatalf("history length changed: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("history[%d] changed: %v vs %v", i, ha[i], hb[i])
+		}
+	}
+}
+
+// Drift must be deterministic, bounded by its amplitude, and identity at
+// amplitude zero.
+func TestDriftDeterministicAndBounded(t *testing.T) {
+	m := testModel(t)
+	d := &Drift{Amplitude: 0.4, Seed: 9}
+	a := d.Apply(7, m.Stages)
+	b := d.Apply(7, m.Stages)
+	if a != b {
+		t.Fatalf("drift not deterministic: %v vs %v", a, b)
+	}
+	if a == m.Stages {
+		t.Fatal("drift with amplitude 0.4 left the profile unchanged")
+	}
+	for r := 0; r < workload.NumResources; r++ {
+		lo := float64(m.Stages[r]) * 0.6
+		hi := float64(m.Stages[r]) * 1.4
+		if v := float64(a[r]); v < lo-1 || v > hi+1 {
+			t.Fatalf("stage %d drifted out of bounds: %v not in [%v, %v]", r, a[r], time.Duration(lo), time.Duration(hi))
+		}
+	}
+	var none *Drift
+	if got := none.Apply(7, m.Stages); got != m.Stages {
+		t.Fatalf("nil drift changed the profile: %v", got)
+	}
+	zero := &Drift{}
+	if got := zero.Apply(7, m.Stages); got != m.Stages {
+		t.Fatalf("zero-amplitude drift changed the profile: %v", got)
+	}
+}

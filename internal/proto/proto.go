@@ -335,8 +335,33 @@ type StatusAck struct {
 	Engine     *EngineSummary     `json:"engine,omitempty"`
 	Ingest     *IngestSummary     `json:"ingest,omitempty"`
 	Durability *DurabilitySummary `json:"durability,omitempty"`
+	Predictor  *PredictorSummary  `json:"predictor,omitempty"`
 	Jobs       []JobStatus        `json:"jobs,omitempty"`
 	Extra      map[string]any     `json:"extra,omitempty"`
+}
+
+// PredictorSummary mirrors the online duration estimator's state on the
+// wire (kept separate from internal profile types so proto stays
+// dependency-free): how many models it tracks, how many completions it
+// has folded in, how often deviating completions re-seeded a belief,
+// and its running prediction-error score.
+type PredictorSummary struct {
+	// Models is the number of distinct model names with a learned belief.
+	Models int `json:"models"`
+	// Samples is the total completions retained across models (re-seeds
+	// reset a model's count, so this can trail lifetime completions).
+	Samples int `json:"samples"`
+	// Completions is the lifetime completion count (the Gittins service
+	// history length).
+	Completions int `json:"completions,omitempty"`
+	// Reseeds counts beliefs discarded and re-seeded after a deviating
+	// completion (the engine's re-profiling trigger).
+	Reseeds int `json:"reseeds,omitempty"`
+	// MeanAbsErr is the mean absolute relative error of pre-completion
+	// predictions against measured totals; ErrSamples is how many
+	// completions were scored (only repeat models score).
+	MeanAbsErr float64 `json:"mean_abs_err,omitempty"`
+	ErrSamples int     `json:"err_samples,omitempty"`
 }
 
 // DurabilitySummary mirrors the durability layer's state on the wire:
@@ -392,6 +417,9 @@ type EngineSummary struct {
 	Requeues     int `json:"requeues,omitempty"`
 	DeadLettered int `json:"dead_lettered,omitempty"`
 	QueueDepth   int `json:"queue_depth,omitempty"`
+	// Reprofiles counts completions whose measured stage times deviated
+	// far enough from the predictor's belief to re-seed it.
+	Reprofiles int `json:"reprofiles,omitempty"`
 }
 
 // FaultSummary mirrors the scheduler's fault counters on the wire (kept

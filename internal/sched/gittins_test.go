@@ -32,15 +32,16 @@ func TestGittinsIndexMonotonicity(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		g.Observe(100000 * time.Second)
 	}
+	history, quanta := g.snapshotHistory(), g.quanta()
 	// A fresh job (attained 0) is very likely short → high index.
-	fresh := g.index(0)
+	fresh := gittinsIndex(history, quanta, 0)
 	// A job that survived 1000s is certainly long → low index.
-	old := g.index(1000)
+	old := gittinsIndex(history, quanta, 1000)
 	if fresh <= old {
 		t.Errorf("index(fresh)=%v should exceed index(survived 1000s)=%v", fresh, old)
 	}
 	// Beyond all observed demands: lowest priority.
-	if beyond := g.index(1e9); beyond != 0 {
+	if beyond := gittinsIndex(history, quanta, 1e9); beyond != 0 {
 		t.Errorf("index beyond history = %v, want 0", beyond)
 	}
 }

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"muri/internal/job"
+	"muri/internal/profile"
+	"muri/internal/workload"
+)
+
+// With the oracle estimator, the predicted variants must order jobs
+// exactly like their oracle-era originals: the estimator returns the
+// true profile, which (absent drift or profiling noise) is the profile
+// the originals read.
+func TestPredictedMatchesOracleOrdering(t *testing.T) {
+	jobs := []*job.Job{
+		mk(0, "gpt2", 2, 5000, 0),
+		mk(1, "resnet18", 1, 100, time.Second),
+		mk(2, "vgg19", 4, 800, 2*time.Second),
+		mk(3, "bert", 8, 50, 3*time.Second),
+	}
+	oracle := profile.NewOracle()
+	cases := []struct {
+		base, pred Policy
+	}{
+		{SRTF(), SRTFPredicted(oracle)},
+		{SRSF(), SRSFPredicted(oracle)},
+	}
+	for _, c := range cases {
+		want := c.base.Plan(0, jobs, 64)
+		got := c.pred.Plan(0, jobs, 64)
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d units vs %d", c.pred.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Jobs[0].ID != got[i].Jobs[0].ID {
+				t.Errorf("%s: unit %d is job %d, oracle original placed job %d",
+					c.pred.Name(), i, got[i].Jobs[0].ID, want[i].Jobs[0].ID)
+			}
+		}
+	}
+}
+
+// Once the online estimator has learned that a model's iterations are
+// much longer than its zoo profile claims, the predicted SRTF must
+// reorder accordingly while oracle-profile SRTF stays fooled.
+func TestPredictedUsesLearnedDurations(t *testing.T) {
+	est := profile.NewOnline()
+	slow, err := workload.ByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// resnet18 iterations measured 100× the zoo profile.
+	for i := 0; i < 10; i++ {
+		est.ObserveCompletion(slow.Name, slow.Stages.Scale(100), time.Hour)
+	}
+	short := mk(0, "resnet18", 1, 1000, 0) // believed short, actually long
+	long := mk(1, "gpt2", 1, 2000, time.Second)
+	p := SRTFPredicted(est)
+	units := p.Plan(0, []*job.Job{short, long}, 64)
+	if units[0].Jobs[0].ID != 1 {
+		t.Errorf("predicted SRTF kept the stale-profile job first; learned durations ignored")
+	}
+	if units := SRTF().Plan(0, []*job.Job{short, long}, 64); units[0].Jobs[0].ID != 0 {
+		t.Errorf("oracle-profile SRTF unexpectedly reordered: %v", ids(units))
+	}
+}
+
+// Gittins with a Source must rank against the predictor's completed
+// service history and ignore its private log.
+func TestGittinsConsumesPredictorHistory(t *testing.T) {
+	est := profile.NewOnline()
+	m, err := workload.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		est.ObserveCompletion(m.Name, m.Stages, 10*time.Minute)
+	}
+	for i := 0; i < 5; i++ {
+		est.ObserveCompletion(m.Name, m.Stages, 48*time.Hour)
+	}
+	g := NewGittinsFromEstimator(est)
+	if g.Name() != "gittins-pred" {
+		t.Fatalf("name = %q, want gittins-pred", g.Name())
+	}
+	g.Observe(time.Second) // must be a no-op with a Source attached
+	fresh := mk(0, "gpt2", 1, 1000, time.Second)
+	survivor := mk(1, "gpt2", 1, 1000, 0)
+	survivor.Attained = 2 * time.Hour // outlived the short mass → long
+	units := g.Plan(0, []*job.Job{survivor, fresh}, 64)
+	if units[0].Jobs[0].ID != 0 {
+		t.Errorf("order = %v, want the fresh (probably short) job first", ids(units))
+	}
+}
+
+// Concurrent Observe and Plan must be race-free (run under -race): the
+// sharded scheduling path and the daemon's schedule loop can hit the
+// policy from different goroutines.
+func TestGittinsConcurrentObservePlan(t *testing.T) {
+	g := NewGittins()
+	jobs := []*job.Job{
+		mk(0, "gpt2", 1, 100, 0),
+		mk(1, "resnet18", 2, 200, time.Second),
+		mk(2, "vgg19", 4, 300, 2*time.Second),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Observe(time.Duration(w*1000+i) * time.Second)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Plan(0, jobs, 64)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(g.snapshotHistory()); got != 800 {
+		t.Fatalf("history lost observations under concurrency: %d, want 800", got)
+	}
+}

@@ -212,6 +212,9 @@ func (s *Server) applySnapshotLocked(sn *wal.Snapshot) {
 	s.adm.BumpNextID(sn.NextJobID)
 	s.faults = sn.Faults
 	s.leaseEvictions = sn.LeaseEvictions
+	if sn.Predictor != nil {
+		s.est.Restore(*sn.Predictor)
+	}
 	if sn.Term > s.term.Load() {
 		s.term.Store(sn.Term)
 	}
@@ -281,6 +284,10 @@ func (s *Server) replayRecordLocked(r *wal.Record) {
 		js.job.State = job.Done
 		js.job.FinishedAt = time.Duration(d.FinishedV)
 		js.groupID = 0
+		// Re-feed the predictor exactly as the live path did (the logged
+		// ServiceV pins the soft attained-time input), so the estimator's
+		// post-replay beliefs match the pre-crash ones.
+		s.eng.NoteCompletion(js.job, js.job.TrueProfile, time.Duration(d.ServiceV))
 	case wal.KindProfile:
 		p := r.Profile
 		if p == nil {
@@ -490,6 +497,9 @@ func (s *Server) buildSnapshotLocked() *wal.Snapshot {
 		NextJobID:      s.adm.NextID(),
 		Faults:         s.faults,
 		LeaseEvictions: s.leaseEvictions,
+	}
+	if ps := s.est.Snapshot(); len(ps.Models) > 0 || len(ps.History) > 0 {
+		sn.Predictor = &ps
 	}
 	if len(s.profiles) > 0 {
 		sn.Profiles = make(map[string][4]time.Duration, len(s.profiles))

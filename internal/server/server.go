@@ -27,6 +27,7 @@ import (
 	"muri/internal/ingest"
 	"muri/internal/job"
 	"muri/internal/metrics"
+	"muri/internal/profile"
 	"muri/internal/proto"
 	"muri/internal/sched"
 	"muri/internal/telemetry"
@@ -71,6 +72,17 @@ type Config struct {
 	// rounds a unit may be bypassed for capacity before it is boosted to
 	// the front of the admission order. Zero uses the engine default.
 	StarvationPatience int
+	// Predictor is the online duration estimator fed by every job
+	// completion; nil constructs a fresh one. Pass the same instance to a
+	// prediction-aware policy (sched.SRTFPredicted and friends) so the
+	// policy reads the beliefs the daemon learns. Its state rides WAL
+	// snapshots and Done-record replay, surviving restarts.
+	Predictor *profile.Online
+	// ReprofileThreshold is forwarded to the engine: a completion whose
+	// measured stage total deviates from the predictor's belief by more
+	// than this fraction re-seeds the model instead of averaging in.
+	// Zero uses the engine default (0.25).
+	ReprofileThreshold float64
 	// Observer, when non-nil, receives every engine decision as it is
 	// issued (the parity harness taps the decision stream here).
 	Observer func(engine.Decision)
@@ -213,6 +225,11 @@ type Server struct {
 	nextGroup int64
 	started   time.Time
 	closed    bool
+	// est is the online duration estimator (cfg.Predictor or a fresh
+	// one): every completion folds in through eng.NoteCompletion, and its
+	// learned state checkpoints into WAL snapshots. It has its own lock,
+	// so metrics scrape it without s.mu.
+	est *profile.Online
 	// draining rejects new submissions while in-flight groups finish
 	// (set by Stop).
 	draining bool
@@ -327,8 +344,12 @@ func New(cfg Config) *Server {
 	if cfg.ElectionTTL <= 0 {
 		cfg.ElectionTTL = 2 * time.Second
 	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = profile.NewOnline()
+	}
 	s := &Server{
 		cfg:          cfg,
+		est:          cfg.Predictor,
 		executors:    make(map[string]*executorConn),
 		jobs:         make(map[int64]*jobState),
 		groups:       make(map[int64]*groupState),
@@ -356,6 +377,8 @@ func New(cfg Config) *Server {
 		Policy:             cfg.Policy,
 		Style:              engine.Differential,
 		StarvationPatience: cfg.StarvationPatience,
+		Estimator:          s.est,
+		ReprofileThreshold: cfg.ReprofileThreshold,
 		Retry: engine.RetryPolicy{
 			BackoffBase: cfg.FaultBackoffBase,
 			BackoffMax:  cfg.FaultBackoffMax,
@@ -958,8 +981,14 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	js.job.DoneIterations = js.job.Iterations
 	js.job.State = job.Done
 	js.job.FinishedAt = s.virtualNowLocked()
+	service := time.Duration(float64(js.job.Attained) * float64(js.job.GPUs))
 	s.walAppendLocked(&wal.Record{Kind: wal.KindDone, Done: &wal.DoneRecord{
-		Job: d.JobID, FinishedWall: js.finishedAt.UnixNano(), FinishedV: int64(js.job.FinishedAt)}})
+		Job: d.JobID, FinishedWall: js.finishedAt.UnixNano(),
+		FinishedV: int64(js.job.FinishedAt), ServiceV: int64(service)}})
+	if s.eng.NoteCompletion(js.job, js.job.TrueProfile, service) {
+		s.log.Info("predictor re-profiled model on completion deviation",
+			"job", d.JobID, "model", js.spec.Model)
+	}
 	jct := time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
 	s.jctHist.Observe(jct.Seconds())
 	s.detachFromGroupLocked(d.GroupID, d.JobID)
@@ -1424,6 +1453,18 @@ func (s *Server) status() proto.StatusAck {
 		Requeues:     es.Requeues,
 		DeadLettered: es.DeadLettered,
 		QueueDepth:   es.QueueDepth,
+		Reprofiles:   es.Reprofiles,
+	}
+	if models, samples, reseeds := s.est.Stats(); models > 0 {
+		meanErr, errN := s.est.Error()
+		ack.Predictor = &proto.PredictorSummary{
+			Models:      models,
+			Samples:     samples,
+			Completions: s.est.Completions(),
+			Reseeds:     reseeds,
+			MeanAbsErr:  meanErr,
+			ErrSamples:  errN,
+		}
 	}
 	if ack.Done > 0 {
 		ack.Extra = map[string]any{

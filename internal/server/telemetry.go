@@ -103,6 +103,21 @@ func (s *Server) initMetrics() {
 		"Queue wait between submission accept and engine admission.",
 		metrics.ExponentialBounds(1e-6, 10, 8)...)
 
+	// Online predictor: func-backed off the estimator's own lock (never
+	// s.mu), so scrapes agree with the status RPC's PredictorSummary.
+	r.GaugeFunc("muri_predictor_models", "Models with a learned duration belief.",
+		func() float64 { m, _, _ := s.est.Stats(); return float64(m) })
+	r.GaugeFunc("muri_predictor_samples", "Completions retained across model beliefs (re-seeds reset a model).",
+		func() float64 { _, n, _ := s.est.Stats(); return float64(n) })
+	r.CounterFunc("muri_predictor_completions_total", "Lifetime completions folded into the predictor.",
+		func() uint64 { return uint64(s.est.Completions()) })
+	r.CounterFunc("muri_predictor_reseeds_total", "Beliefs re-seeded after a deviating completion.",
+		func() uint64 { _, _, rs := s.est.Stats(); return uint64(rs) })
+	r.GaugeFunc("muri_predictor_error_mean", "Mean absolute relative prediction error over scored completions.",
+		func() float64 { e, _ := s.est.Error(); return e })
+	r.CounterFunc("muri_sched_reprofiles_total", "Completions that tripped the engine's re-profiling threshold.",
+		engCounter(func() int { return s.eng.Stats().Reprofiles }))
+
 	// Virtual JCT spans seconds to hours on scaled runs; round latency is
 	// wall time in the microsecond-to-second range.
 	s.jctHist = r.Histogram("muri_jct_seconds",

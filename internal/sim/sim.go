@@ -44,6 +44,20 @@ type Config struct {
 	Interleave interleave.Config
 	// Profiler supplies (possibly noisy) profiles; nil means exact.
 	Profiler *profile.Profiler
+	// Estimator, when non-nil, replaces the oracle-profile assumption:
+	// scheduler-visible profiles are refreshed from the estimator's
+	// current beliefs before every round, and completions feed back into
+	// it through the engine (which re-profiles past its deviation
+	// threshold). The oracle estimator reproduces an estimator-free run
+	// bit-identically (pinned by the golden tests); the online estimator
+	// schedules on learned durations.
+	Estimator profile.Estimator
+	// Drift, when non-nil, deterministically perturbs each job's true
+	// stage durations away from the model zoo at construction — the
+	// profile-drift model. The scheduler's zoo-derived beliefs go stale;
+	// only the oracle estimator (or learning from completions) sees the
+	// drifted truth.
+	Drift *profile.Drift
 	// SampleEvery is the metrics sampling period; zero disables the
 	// detailed time series.
 	SampleEvery time.Duration
@@ -336,10 +350,11 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		StarvationPatience: cfg.StarvationPatience,
 		// The simulator's failure model retries from checkpoint
 		// indefinitely: no backoff, no dead-letter budget.
-		Retry:    engine.RetryPolicy{Budget: -1},
-		Observer: cfg.Observer,
-		Tracer:   cfg.Trace,
-		Now:      func() time.Duration { return s.now },
+		Retry:     engine.RetryPolicy{Budget: -1},
+		Observer:  cfg.Observer,
+		Tracer:    cfg.Trace,
+		Now:       func() time.Duration { return s.now },
+		Estimator: cfg.Estimator,
 	})
 	if !cfg.Faults.Empty() {
 		s.plan = cfg.Faults
@@ -388,6 +403,12 @@ func (s *sim) buildJobs(tr trace.Trace) {
 		if s.cfg.Profiler != nil {
 			j.Profile = s.cfg.Profiler.Profile(m)
 		}
+		if s.cfg.Drift != nil {
+			// Truth drifts; the scheduler-visible Profile keeps the stale
+			// zoo-derived belief until an estimator corrects it.
+			j.TrueProfile = s.cfg.Drift.Apply(int64(j.ID), j.TrueProfile)
+		}
+		s.refreshBelief(j)
 		s.all = append(s.all, j)
 	}
 	sort.SliceStable(s.all, func(i, k int) bool { return s.all[i].Submit < s.all[k].Submit })
@@ -636,6 +657,20 @@ func (s *sim) earliestCompletion() (time.Duration, bool) {
 	return s.heap.peek()
 }
 
+// refreshBelief updates one job's scheduler-visible profile from the
+// estimator's current belief. Cold-started jobs (no belief for the
+// model yet) keep their existing profile; with the oracle estimator the
+// write is the identity (Profile already equals TrueProfile absent a
+// profiler), so estimator-free runs stay bit-identical.
+func (s *sim) refreshBelief(j *job.Job) {
+	if s.cfg.Estimator == nil {
+		return
+	}
+	if e, ok := s.cfg.Estimator.EstimateFor(j); ok && e.Stages.Total() > 0 {
+		j.Profile = e.Stages
+	}
+}
+
 // admitArrivals moves jobs whose submit time has passed into the queue.
 func (s *sim) admitArrivals() {
 	for s.arrived < len(s.all) && s.all[s.arrived].Submit <= s.now {
@@ -673,6 +708,14 @@ func (s *sim) schedule() {
 		}
 	} else {
 		candidates = append(candidates, s.pending...)
+	}
+	// Prediction mode: re-read every candidate's believed profile before
+	// the policy sees it, so completions observed since the last round
+	// reshape this round's priorities and groupings.
+	if s.cfg.Estimator != nil {
+		for _, j := range candidates {
+			s.refreshBelief(j)
+		}
 	}
 	// Plan against in-service capacity. Without a fault plan no machine is
 	// ever down, so AvailableGPUs equals TotalGPUs and behavior is
@@ -930,6 +973,12 @@ func (s *sim) advanceUnit(u *unit, from, to time.Duration) {
 		// observe the job's 2D service demand.
 		if obs, ok := s.policy.(interface{ Observe(time.Duration) }); ok {
 			obs.Observe(time.Duration(float64(j.Attained) * float64(j.GPUs)))
+		}
+		// The estimator observes the measured per-iteration stages and the
+		// 2D service demand (no-op without one).
+		if s.cfg.Estimator != nil {
+			s.eng.NoteCompletion(j, j.TrueProfile,
+				time.Duration(float64(j.Attained)*float64(j.GPUs)))
 		}
 		from = firstAt
 		s.retime(u)

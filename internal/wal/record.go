@@ -6,6 +6,7 @@ import (
 	"muri/internal/engine"
 	"muri/internal/job"
 	"muri/internal/metrics"
+	"muri/internal/profile"
 	"muri/internal/proto"
 )
 
@@ -132,6 +133,10 @@ type DoneRecord struct {
 	// the virtual completion time.
 	FinishedWall int64 `json:"finished_wall"`
 	FinishedV    int64 `json:"finished_v"`
+	// ServiceV is the job's 2D service (virtual attained time × GPUs) at
+	// completion, logged so replay feeds the online predictor the exact
+	// value the live path observed (attained time itself is soft state).
+	ServiceV int64 `json:"service_v,omitempty"`
 }
 
 // ProfileRecord is one measured model profile.
@@ -208,4 +213,10 @@ type Snapshot struct {
 	NextJobID      int64                       `json:"next_job_id"`
 	Faults         metrics.FaultStats          `json:"faults"`
 	LeaseEvictions uint64                      `json:"lease_evictions,omitempty"`
+	// Predictor is the online estimator's learned state. Done records
+	// below Snapshot.LSN are never replayed, so the predictor — which
+	// learns exclusively from completions — must checkpoint here; replay
+	// of the tail re-feeds post-snapshot completions. Absent in
+	// snapshots taken before prediction mode existed.
+	Predictor *profile.OnlineState `json:"predictor,omitempty"`
 }
