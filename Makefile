@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-race race smoke-recover bench bench-sched bench-sched-scale bench-sched-scale-quick bench-ingest clean
+.PHONY: check fmt build vet test test-race race smoke-recover smoke-explain bench bench-sched bench-sched-scale bench-sched-scale-quick bench-ingest clean
 
 check: fmt build vet test-race smoke-recover
 
@@ -38,12 +38,19 @@ race: test-race
 smoke-recover:
 	./scripts/smoke_recover.sh
 
+# Explain/provenance smoke: run a preemption-bearing workload on a
+# durable daemon, capture live `murictl explain` output, kill -9 the
+# daemon, and require muritrace's offline WAL reconstruction to be
+# byte-identical to the live RPC text.
+smoke-explain:
+	./scripts/smoke_explain.sh
+
 # Scheduling-path microbenchmarks (ns/op, allocs/op, B/op, plus
 # cache/pool hit rates), captured as a machine-readable stream in
 # BENCH_sched.json for before/after comparison. See DESIGN.md
 # "Performance architecture" and §6.
 bench-sched:
-	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability|PredictionOnline' \
+	$(GO) test -run '^$$' -bench 'PlanLarge|ScheduleHotLoop|SimulatorThroughput|BlossomScalability|PredictionOnline|ExplainOverhead' \
 		-benchtime 3x -benchmem -json . | tee BENCH_sched.json
 
 # End-to-end scale runs: the 2,000- and 5,755-job Philly traces replayed

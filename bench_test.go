@@ -17,6 +17,7 @@ import (
 	"muri/internal/blossom"
 	"muri/internal/core"
 	"muri/internal/experiments"
+	"muri/internal/explain"
 	"muri/internal/interleave"
 	"muri/internal/job"
 	"muri/internal/metrics"
@@ -347,6 +348,41 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal("incomplete run")
 		}
 	}
+}
+
+// BenchmarkExplainOverhead prices the decision-provenance tax: the same
+// 250-job simulator run with provenance off (the nil-gated default —
+// every cause annotation short-circuits before allocating) and with a
+// live explain.Builder folding the synthesized record stream. The two
+// sub-benchmark ns/op lines land side by side in BENCH_sched.json; the
+// budget is <3% on the scheduling hot path.
+func BenchmarkExplainOverhead(b *testing.B) {
+	tr := benchTrace()
+	b.Run("nil-gated", func(b *testing.B) {
+		cfg := sim.DefaultConfig()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := sim.Run(cfg, tr, sched.NewMuriS())
+			if res.Summary.Jobs != len(tr.Specs) {
+				b.Fatal("incomplete run")
+			}
+		}
+	})
+	b.Run("provenance-on", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig()
+			cfg.Explain = explain.NewBuilder()
+			res := sim.Run(cfg, tr, sched.NewMuriS())
+			if res.Summary.Jobs != len(tr.Specs) {
+				b.Fatal("incomplete run")
+			}
+			at, ok := cfg.Explain.AttributionOf(tr.Specs[0].ID)
+			if !ok || !at.Done {
+				b.Fatal("provenance run produced no attribution")
+			}
+		}
+	})
 }
 
 // BenchmarkPredictionOnline times a full prediction-mode run (DESIGN.md

@@ -9,6 +9,7 @@
 //	murictl -scheduler localhost:7800 fault -job 3
 //	murictl -scheduler localhost:7800 fault -machine machine-0
 //	murictl -scheduler localhost:7800 trace -o trace.json
+//	murictl -scheduler localhost:7800 explain -job 3
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | trace | models | debug")
+		fmt.Fprintln(os.Stderr, "murictl: need a subcommand: submit | replay | status | wait | watch | fault | trace | explain | models | debug")
 		os.Exit(2)
 	}
 	if args[0] == "models" {
@@ -172,6 +173,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d bytes); open in https://ui.perfetto.dev\n", *out, len(data))
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		jobID := fs.Int64("job", 0, "explain this job's waits")
+		_ = fs.Parse(args[1:])
+		if *jobID <= 0 {
+			fmt.Fprintln(os.Stderr, "murictl: explain needs -job")
+			os.Exit(2)
+		}
+		text, err := c.Explain(*jobID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murictl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
 	case "wait":
 		fs := flag.NewFlagSet("wait", flag.ExitOnError)
 		timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait")

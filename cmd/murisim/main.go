@@ -34,14 +34,21 @@
 // with `go tool pprof`), so scheduling-path regressions can be diagnosed
 // against real experiment workloads.
 //
-// -trace-out and -timeline-out switch murisim into single-run mode: one
-// simulation of the trace1 workload under -policy (default muri-l),
-// writing a Chrome trace-event JSON file (open in Perfetto or
-// chrome://tracing to see the per-resource stage interleaving) and/or a
-// JSONL job-lifecycle timeline:
+// -trace-out, -timeline-out, and -explain switch murisim into
+// single-run mode: one simulation of the trace1 workload under -policy
+// (default muri-l), writing a Chrome trace-event JSON file (open in
+// Perfetto or chrome://tracing to see the per-resource stage
+// interleaving) and/or a JSONL job-lifecycle timeline. -explain
+// attaches the decision-provenance builder (DESIGN.md §14) and prints
+// the attribution sweep — where the workload's aggregate JCT went,
+// cause by cause — plus one job's full explanation with -explain-job;
+// combined with -trace-out, the per-job lifecycle spans land in the
+// trace as real duration events:
 //
 //	murisim -trace-out trace.json -maxjobs 100
 //	murisim -timeline-out timeline.jsonl -policy muri-s -maxjobs 200
+//	murisim -explain -policy srtf -maxjobs 200
+//	murisim -explain -explain-job 7 -trace-out trace.json
 package main
 
 import (
@@ -58,6 +65,7 @@ import (
 	"time"
 
 	"muri/internal/experiments"
+	"muri/internal/explain"
 	"muri/internal/sched"
 	"muri/internal/sim"
 	"muri/internal/telemetry"
@@ -83,6 +91,8 @@ func main() {
 		timelineOut = flag.String("timeline-out", "", "single run: write the job-lifecycle timeline as JSONL")
 		policy      = flag.String("policy", "muri-l", "single run: scheduling policy")
 		incremental = flag.Bool("incremental", false, "single run: attach the incremental planner to the muri policies")
+		explainRun  = flag.Bool("explain", false, "single run: fold decision provenance and print the wait-time attribution sweep")
+		explainJob  = flag.Int64("explain-job", 0, "single run: also print this job's full explanation (implies -explain)")
 	)
 	flag.Parse()
 
@@ -92,8 +102,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *traceOut != "" || *timelineOut != "" {
-		if err := runSingle(*machines, *gpus, *maxJobs, *policy, *traceOut, *timelineOut, shardList, *incremental); err != nil {
+	if *traceOut != "" || *timelineOut != "" || *explainRun || *explainJob > 0 {
+		if err := runSingle(*machines, *gpus, *maxJobs, *policy, *traceOut, *timelineOut, shardList, *incremental, *explainRun || *explainJob > 0, *explainJob); err != nil {
 			fmt.Fprintf(os.Stderr, "murisim: %v\n", err)
 			os.Exit(1)
 		}
@@ -225,7 +235,7 @@ func parseShards(s string) ([]int, error) {
 
 // runSingle simulates the trace1 workload once with instrumentation
 // attached and writes the requested artifacts.
-func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut string, shards []int, incremental bool) error {
+func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut string, shards []int, incremental, explainRun bool, explainJob int64) error {
 	p, err := singlePolicy(policyName, shards, incremental)
 	if err != nil {
 		return err
@@ -239,6 +249,9 @@ func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut st
 		cfg.Trace = tracer
 	}
 	cfg.RecordTimeline = timelineOut != ""
+	if explainRun {
+		cfg.Explain = explain.NewBuilder()
+	}
 	tc := trace.PhillyConfigs(machines * gpus)[0]
 	if maxJobs > 0 && maxJobs < tc.Jobs {
 		tc.Jobs = maxJobs
@@ -261,7 +274,51 @@ func runSingle(machines, gpus, maxJobs int, policyName, traceOut, timelineOut st
 		}
 		fmt.Printf("wrote %s (%d events)\n", timelineOut, len(res.Timeline))
 	}
+	if explainRun {
+		printAttributionSweep(cfg.Explain)
+		if explainJob > 0 {
+			fmt.Print(cfg.Explain.RenderJob(explainJob))
+		}
+	}
 	return nil
+}
+
+// printAttributionSweep aggregates every job's exact wait-time
+// attribution into one table: where the workload's total JCT went,
+// cause by cause (DESIGN.md §14). Per-job attributions each sum
+// exactly to that job's JCT, so the table's total is the aggregate JCT
+// to the nanosecond.
+func printAttributionSweep(b *explain.Builder) {
+	perCause := map[string]int64{}
+	var total int64
+	var jobs, done int
+	for _, id := range b.Jobs() {
+		at, ok := b.AttributionOf(id)
+		if !ok {
+			continue
+		}
+		jobs++
+		if at.Done {
+			done++
+		}
+		total += at.Total
+		for c, d := range at.PerCause {
+			perCause[c] += d
+		}
+	}
+	fmt.Printf("attribution sweep: %d jobs (%d completed), aggregate JCT %v\n",
+		jobs, done, time.Duration(total).Round(time.Second))
+	for _, c := range explain.Causes {
+		d := perCause[c]
+		if d == 0 && c != explain.CauseService {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(d) / float64(total)
+		}
+		fmt.Printf("  %-16s %14v  %5.1f%%\n", c, time.Duration(d).Round(time.Second), share)
+	}
 }
 
 // writeTimeline dumps timeline events as JSONL, one event per line.

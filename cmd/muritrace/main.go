@@ -1,0 +1,98 @@
+// Command muritrace reconstructs decision provenance offline, from a
+// scheduler daemon's WAL alone: point it at a -state-dir and it folds
+// the recovered snapshot plus the record tail through the same explain
+// builder the live daemon drives, so its output is byte-identical to
+// what `murictl explain` reported from the running process — the CI
+// smoke test diffs the two after a kill -9.
+//
+// Usage:
+//
+//	muritrace -state-dir /var/lib/muri explain -job 3
+//	muritrace -state-dir /var/lib/muri explain            # every job
+//	muritrace -state-dir /var/lib/muri spans -o spans.json # Chrome trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"muri/internal/explain"
+	"muri/internal/telemetry"
+	"muri/internal/wal"
+)
+
+func main() {
+	stateDir := flag.String("state-dir", "", "scheduler WAL directory to reconstruct from")
+	flag.Parse()
+	args := flag.Args()
+	if *stateDir == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "muritrace: need -state-dir and a subcommand: explain | spans")
+		os.Exit(2)
+	}
+
+	b, err := rebuild(*stateDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muritrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		jobID := fs.Int64("job", 0, "explain this job (0 = every job)")
+		_ = fs.Parse(args[1:])
+		if *jobID > 0 {
+			fmt.Print(b.RenderJob(*jobID))
+			return
+		}
+		fmt.Print(b.RenderAll())
+	case "spans":
+		fs := flag.NewFlagSet("spans", flag.ExitOnError)
+		out := fs.String("o", "", "write Chrome trace-event JSON here (default stdout)")
+		_ = fs.Parse(args[1:])
+		tr := telemetry.NewTracer(0)
+		b.EmitSpans(tr)
+		data, err := tr.ExportJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "muritrace: %v\n", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "muritrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes); open in https://ui.perfetto.dev\n", *out, len(data))
+	default:
+		fmt.Fprintf(os.Stderr, "muritrace: unknown subcommand %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// rebuild runs the recovery fold: snapshot-restored explain state plus
+// every record after it, in LSN order — exactly what the live daemon's
+// builder saw.
+func rebuild(dir string) (*explain.Builder, error) {
+	rec, err := wal.Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := explain.NewBuilder()
+	if rec.Snapshot != nil {
+		if err := b.Restore(rec.Snapshot.Explain); err != nil {
+			return nil, fmt.Errorf("snapshot explain state: %w", err)
+		}
+	}
+	for i := range rec.Records {
+		b.Apply(&rec.Records[i])
+	}
+	if c := rec.Corruption; c != nil {
+		fmt.Fprintf(os.Stderr, "muritrace: replay stopped at corrupt record (segment %d offset %d: %s); explaining the durable prefix\n",
+			c.Segment, c.Offset, c.Reason)
+	}
+	return b, nil
+}

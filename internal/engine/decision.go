@@ -53,6 +53,11 @@ type Decision struct {
 	Jobs []job.ID
 	// Reason qualifies requeues.
 	Reason Reason
+	// Cause is the provenance annotation attached at the decision site
+	// (preemptor identity, grouping efficiency, retry-budget state).
+	// Only populated when Config.Provenance is set; deliberately excluded
+	// from String so parity streams stay byte-identical either way.
+	Cause string
 }
 
 // String renders the decision without its sequence number or any

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"muri/internal/job"
@@ -83,6 +84,46 @@ type Config struct {
 	// the belief is discarded and re-seeded from the measurement (the
 	// engine-level re-profiling trigger). Zero uses the default of 0.25.
 	ReprofileThreshold float64
+	// Provenance, when non-nil, receives structured cause annotations
+	// from each decision site: wait-cause transitions for jobs left
+	// unplaced (capacity vs. ranked-behind, with comparator keys and
+	// blocker identities) and starvation-boost notes. Decisions also gain
+	// a Cause annotation (grouping efficiency, preemptor identity,
+	// retry-budget state). Nil — the default — emits nothing, computes
+	// nothing, and keeps every fixed-seed stream bit-identical.
+	Provenance func(CauseEvent)
+}
+
+// Wait causes the engine itself classifies. The explain layer unions
+// these with the driver-level causes (ingest-queue, fault-backoff,
+// adoption-freeze, service) into the full attribution taxonomy.
+const (
+	// CauseCapacity: the job's unit fits no free capacity — the cluster
+	// is too small, has no executors, or is fragmented.
+	CauseCapacity = "capacity"
+	// CauseRankedBehind: capacity exists but higher-priority work
+	// consumed it first this round.
+	CauseRankedBehind = "ranked-behind"
+	// CauseStarvationBoost annotates the round a bypassed unit jumped
+	// the admission order (a note, not a span transition).
+	CauseStarvationBoost = "starvation-boost"
+)
+
+// CauseEvent is one provenance annotation from a decision site. Note
+// events annotate a job's timeline without opening a new wait span.
+type CauseEvent struct {
+	Job    job.ID
+	Cause  string
+	Detail string
+	Note   bool
+}
+
+// PriorityKeyer is implemented by policies that can expose the
+// comparator key ranking a job (sched's priority policies and Muri);
+// the engine uses it to put concrete key values into ranked-behind
+// provenance details. Policies without it still get blocker identities.
+type PriorityKeyer interface {
+	PriorityKey(now time.Duration, j *job.Job) float64
 }
 
 // DecisionSink is implemented by policies that want the decision stream
@@ -135,6 +176,14 @@ type Engine struct {
 	// seenScratch is the queue-rebuild dedup set, reused across rounds so
 	// a steady-state fleet stops paying per-round map growth.
 	seenScratch map[job.ID]bool
+	// lastWaitCause gates provenance emission to cause transitions: one
+	// record when a waiting job's classification changes, not one per
+	// round. Entries clear when the job places, requeues, faults, or
+	// completes. Only populated while cfg.Provenance is set.
+	lastWaitCause map[job.ID]string
+	// keyer is cfg.Policy as a PriorityKeyer, resolved once (nil when the
+	// policy does not expose comparator keys).
+	keyer PriorityKeyer
 }
 
 // New creates an engine. It panics without a policy.
@@ -149,12 +198,22 @@ func New(cfg Config) *Engine {
 		cfg.ReprofileThreshold = 0.25
 	}
 	sink, _ := cfg.Policy.(DecisionSink)
+	keyer, _ := cfg.Policy.(PriorityKeyer)
 	return &Engine{
-		cfg:      cfg,
-		prevKeys: make(map[job.ID]string),
-		bypassed: make(map[job.ID]int),
-		records:  make(map[job.ID]*Record),
-		sink:     sink,
+		cfg:           cfg,
+		prevKeys:      make(map[job.ID]string),
+		bypassed:      make(map[job.ID]int),
+		records:       make(map[job.ID]*Record),
+		sink:          sink,
+		keyer:         keyer,
+		lastWaitCause: make(map[job.ID]string),
+	}
+}
+
+// emitCause publishes one provenance annotation (no-op without a hook).
+func (e *Engine) emitCause(ev CauseEvent) {
+	if e.cfg.Provenance != nil {
+		e.cfg.Provenance(ev)
 	}
 }
 
@@ -347,12 +406,24 @@ func (e *Engine) markRunning(id job.ID) {
 // unit reforms identically — but no retry budget is spent. Tracked jobs
 // move running → pending.
 func (e *Engine) Requeue(id job.ID, reason Reason) Decision {
+	return e.RequeueWithCause(id, reason, "")
+}
+
+// RequeueWithCause is Requeue with a provenance annotation supplied by
+// the driver (e.g. the identity of the lost machine). The cause rides
+// the decision only while provenance is enabled.
+func (e *Engine) RequeueWithCause(id job.ID, reason Reason, cause string) Decision {
 	delete(e.prevKeys, id)
+	delete(e.lastWaitCause, id)
 	if r := e.records[id]; r != nil && r.Phase == PhaseRunning {
 		r.Phase = PhasePending
 	}
 	e.stats.Requeues++
-	return e.emit(Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: reason})
+	d := Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: reason}
+	if e.cfg.Provenance != nil {
+		d.Cause = cause
+	}
+	return e.emit(d)
 }
 
 // RecordFault records a job-level fault: retry budget is spent and the
@@ -368,15 +439,28 @@ func (e *Engine) RecordFault(id job.ID) (backoff time.Duration, deadlettered boo
 	}
 	r.Faults++
 	delete(e.prevKeys, id)
+	delete(e.lastWaitCause, id)
 	if e.cfg.Retry.Exhausted(r.Faults) {
 		r.Phase = PhaseDeadletter
 		e.stats.DeadLettered++
-		e.emit(Decision{Action: ActDeadletter, Jobs: []job.ID{id}})
+		d := Decision{Action: ActDeadletter, Jobs: []job.ID{id}}
+		if e.cfg.Provenance != nil {
+			d.Cause = "retry budget exhausted after " + strconv.Itoa(r.Faults) + " faults"
+		}
+		e.emit(d)
 		return 0, true
 	}
 	r.Phase = PhasePending
 	e.stats.Requeues++
-	e.emit(Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: ReasonFault})
+	d := Decision{Action: ActRequeue, Jobs: []job.ID{id}, Reason: ReasonFault}
+	if e.cfg.Provenance != nil {
+		budget := "unlimited"
+		if e.cfg.Retry.Budget >= 0 {
+			budget = strconv.Itoa(e.cfg.Retry.Budget)
+		}
+		d.Cause = "fault " + strconv.Itoa(r.Faults) + " of budget " + budget
+	}
+	e.emit(d)
 	return e.cfg.Retry.Backoff(int64(id), r.Faults), false
 }
 
@@ -535,6 +619,14 @@ func (e *Engine) Reconcile(in Input) Outcome {
 			for i, spec := range units {
 				if starv[i] {
 					ordered = append(ordered, spec)
+					if e.cfg.Provenance != nil {
+						for _, j := range spec.Jobs {
+							if e.bypassed[j.ID] >= e.cfg.StarvationPatience {
+								e.emitCause(CauseEvent{Job: j.ID, Cause: CauseStarvationBoost, Note: true,
+									Detail: "boosted to the front after " + strconv.Itoa(e.bypassed[j.ID]) + " bypassed rounds"})
+							}
+						}
+					}
 				}
 			}
 			for i, spec := range units {
@@ -672,18 +764,25 @@ func (e *Engine) Reconcile(in Input) Outcome {
 	// Decision stream: kills first (current order), then launches
 	// (placement order). Same-key re-placements are continuations and
 	// emit nothing.
+	var killCause string
+	if e.cfg.Provenance != nil && len(out.Killed) > 0 {
+		killCause = e.preemptorDetail(&out, currentKeys)
+	}
 	for _, c := range out.Killed {
 		e.stats.Preemptions++
 		out.Decisions = append(out.Decisions,
-			e.emit(Decision{Action: ActKill, Key: UnitKey(c.Spec), Jobs: memberIDs(c.Spec)}))
+			e.emit(Decision{Action: ActKill, Key: UnitKey(c.Spec), Jobs: memberIDs(c.Spec), Cause: killCause}))
 	}
 	for _, p := range out.Placements {
 		if currentKeys[p.Key] {
 			continue
 		}
 		e.stats.Launches++
-		out.Decisions = append(out.Decisions,
-			e.emit(Decision{Action: ActLaunch, Key: p.Key, Jobs: memberIDs(p.Spec)}))
+		d := Decision{Action: ActLaunch, Key: p.Key, Jobs: memberIDs(p.Spec)}
+		if e.cfg.Provenance != nil {
+			d.Cause = launchDetail(p.Spec)
+		}
+		out.Decisions = append(out.Decisions, e.emit(d))
 	}
 
 	// Rebuild the pending queue and the placement memory.
@@ -728,7 +827,8 @@ func (e *Engine) Reconcile(in Input) Outcome {
 		key := UnitKey(spec)
 		for _, j := range spec.Jobs {
 			e.prevKeys[j.ID] = key
-			delete(e.bypassed, j.ID) // running resets starvation credit
+			delete(e.bypassed, j.ID)      // running resets starvation credit
+			delete(e.lastWaitCause, j.ID) // next wait re-classifies from scratch
 		}
 	}
 	for _, c := range out.Kept {
@@ -745,6 +845,131 @@ func (e *Engine) Reconcile(in Input) Outcome {
 		}
 	}
 	e.stats.QueueDepth = depth
+	if e.cfg.Provenance != nil {
+		e.emitWaitCauses(in, orderedUnits, claimed, placedJobs, &out)
+	}
 	e.traceRound(in, &out)
 	return out
+}
+
+// preemptorDetail names the work that displaced this round's kills: the
+// members of the round's new launches, capped for readability.
+func (e *Engine) preemptorDetail(out *Outcome, currentKeys map[string]bool) string {
+	var ids []job.ID
+	for _, p := range out.Placements {
+		if currentKeys[p.Key] {
+			continue
+		}
+		ids = append(ids, memberIDs(p.Spec)...)
+	}
+	if len(ids) == 0 {
+		return "capacity reclaimed (no replacement launched)"
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	var b strings.Builder
+	b.WriteString("preempted by job")
+	if len(ids) > 1 {
+		b.WriteByte('s')
+	}
+	b.WriteByte(' ')
+	for i, id := range ids {
+		if i == 4 {
+			b.WriteString(" +" + strconv.Itoa(len(ids)-i) + " more")
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(id), 10))
+	}
+	return b.String()
+}
+
+// launchDetail annotates a launch with its grouping provenance: the
+// accepted plan's Eq.-3 interleaving efficiency for interleaved units,
+// the sharing degree for space-shared ones.
+func launchDetail(spec sched.Unit) string {
+	switch spec.Mode {
+	case sched.Interleaved:
+		return "interleaved x" + strconv.Itoa(len(spec.Jobs)) +
+			" eff=" + strconv.FormatFloat(spec.Plan.Efficiency, 'g', 6, 64)
+	case sched.SpaceShared:
+		return "space-shared x" + strconv.Itoa(len(spec.Jobs))
+	default:
+		return "exclusive"
+	}
+}
+
+// emitWaitCauses classifies every candidate left unplaced this round and
+// emits a provenance event when its classification changed: capacity
+// (cluster too small, empty, or fragmented) versus ranked-behind
+// (higher-priority work consumed the capacity first), the latter with
+// the comparator key values and blocker identities when the policy
+// exposes them. Walk order follows the admission order, so emission is
+// deterministic.
+func (e *Engine) emitWaitCauses(in Input, orderedUnits []sched.Unit, claimed, placedJobs map[job.ID]bool, out *Outcome) {
+	blockers := e.blockerDetail(in.Now, out)
+	seen := make(map[job.ID]bool)
+	for _, spec := range orderedUnits {
+		for _, j := range spec.Jobs {
+			if placedJobs[j.ID] || seen[j.ID] || j.State == job.Done {
+				continue
+			}
+			seen[j.ID] = true
+			var cause, detail string
+			switch {
+			case in.Capacity <= 0:
+				cause, detail = CauseCapacity, "no capacity registered"
+			case spec.GPUs > in.Capacity:
+				cause = CauseCapacity
+				detail = "needs " + strconv.Itoa(spec.GPUs) + " GPUs, cluster capacity " + strconv.Itoa(in.Capacity)
+			case claimed[j.ID]:
+				cause = CauseCapacity
+				detail = "admitted but fragmented: no machine with " + strconv.Itoa(spec.GPUs) + " free GPUs"
+			default:
+				cause = CauseRankedBehind
+				if e.keyer != nil {
+					detail = "key=" + strconv.FormatFloat(e.keyer.PriorityKey(in.Now, j), 'g', 6, 64) + " " + blockers
+				} else {
+					detail = blockers
+				}
+			}
+			if e.lastWaitCause[j.ID] != cause {
+				e.lastWaitCause[j.ID] = cause
+				e.emitCause(CauseEvent{Job: j.ID, Cause: cause, Detail: detail})
+			}
+		}
+	}
+}
+
+// blockerDetail renders the round's highest-priority placed work (the
+// jobs that consumed the capacity), with comparator keys when known.
+func (e *Engine) blockerDetail(now time.Duration, out *Outcome) string {
+	var b strings.Builder
+	n := 0
+	add := func(spec sched.Unit) {
+		for _, j := range spec.Jobs {
+			if n >= 3 {
+				return
+			}
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(int64(j.ID), 10))
+			if e.keyer != nil {
+				b.WriteString("(key=" + strconv.FormatFloat(e.keyer.PriorityKey(now, j), 'g', 6, 64) + ")")
+			}
+			n++
+		}
+	}
+	for _, c := range out.Kept {
+		add(c.Spec)
+	}
+	for _, p := range out.Placements {
+		add(p.Spec)
+	}
+	if n == 0 {
+		return "behind higher-priority work"
+	}
+	return "behind jobs " + b.String()
 }

@@ -28,6 +28,10 @@ type Snapshot struct {
 	Records map[int64]RecordSnapshot `json:"records,omitempty"`
 	// Stats are the engine counters.
 	Stats metrics.EngineStats `json:"stats"`
+	// WaitCauses is the provenance transition gate: job → last emitted
+	// wait cause. Restored so a recovered daemon does not re-emit a cause
+	// record an uninterrupted run would have suppressed.
+	WaitCauses map[int64]string `json:"wait_causes,omitempty"`
 }
 
 // RecordSnapshot is one job's lifecycle record on disk.
@@ -61,6 +65,12 @@ func (e *Engine) Snapshot() Snapshot {
 			s.Records[int64(id)] = RecordSnapshot{Phase: string(r.Phase), Faults: r.Faults}
 		}
 	}
+	if len(e.lastWaitCause) > 0 {
+		s.WaitCauses = make(map[int64]string, len(e.lastWaitCause))
+		for id, c := range e.lastWaitCause {
+			s.WaitCauses[int64(id)] = c
+		}
+	}
 	return s
 }
 
@@ -82,6 +92,10 @@ func (e *Engine) Restore(s Snapshot) {
 	e.records = make(map[job.ID]*Record, len(s.Records))
 	for id, r := range s.Records {
 		e.records[job.ID(id)] = &Record{Phase: Phase(r.Phase), Faults: r.Faults}
+	}
+	e.lastWaitCause = make(map[job.ID]string, len(s.WaitCauses))
+	for id, c := range s.WaitCauses {
+		e.lastWaitCause[job.ID(id)] = c
 	}
 }
 
@@ -117,6 +131,7 @@ func (e *Engine) ApplyDecision(d Decision) {
 		for _, id := range d.Jobs {
 			e.prevKeys[id] = d.Key
 			delete(e.bypassed, id)
+			delete(e.lastWaitCause, id)
 			e.markRunning(id)
 		}
 	case ActKill:
@@ -131,6 +146,7 @@ func (e *Engine) ApplyDecision(d Decision) {
 		e.stats.Requeues++
 		for _, id := range d.Jobs {
 			delete(e.prevKeys, id)
+			delete(e.lastWaitCause, id)
 			if r := e.records[id]; r != nil && r.Phase == PhaseRunning {
 				r.Phase = PhasePending
 			}
@@ -139,6 +155,7 @@ func (e *Engine) ApplyDecision(d Decision) {
 		e.stats.DeadLettered++
 		for _, id := range d.Jobs {
 			delete(e.prevKeys, id)
+			delete(e.lastWaitCause, id)
 			if r := e.records[id]; r == nil {
 				e.records[id] = &Record{Phase: PhaseDeadletter}
 			} else {
@@ -173,6 +190,7 @@ func (e *Engine) MarkDone(id job.ID) bool {
 	}
 	delete(e.prevKeys, id)
 	delete(e.bypassed, id)
+	delete(e.lastWaitCause, id)
 	return true
 }
 

@@ -1,0 +1,183 @@
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"muri/internal/telemetry"
+)
+
+// RenderJob renders one job's explanation: a header, the span
+// timeline, the exact wait-time attribution table, notes, and fault /
+// preemption counters. The output is deterministic given the builder
+// state — the bit-identity tests diff the live daemon's rendering
+// against an offline reconstruction byte-for-byte. Unknown jobs render
+// a one-line miss (callers decide whether that is an error).
+func (b *Builder) RenderJob(id int64) string {
+	js := b.jobs[id]
+	if js == nil {
+		return fmt.Sprintf("job %d: no provenance recorded\n", id)
+	}
+	var w strings.Builder
+
+	fmt.Fprintf(&w, "job %d", js.ID)
+	var meta []string
+	if js.Model != "" {
+		meta = append(meta, js.Model)
+	}
+	if js.GPUs > 0 {
+		meta = append(meta, fmt.Sprintf("%d GPUs", js.GPUs))
+	}
+	if js.Tenant != "" {
+		meta = append(meta, "tenant "+js.Tenant)
+	}
+	if len(meta) > 0 {
+		fmt.Fprintf(&w, " (%s)", strings.Join(meta, ", "))
+	}
+	w.WriteByte('\n')
+
+	fmt.Fprintf(&w, "  submitted %s  admitted %s", vdur(js.OriginV), vdur(js.AdmitV))
+	if js.Dispatched {
+		fmt.Fprintf(&w, "  first-dispatch %s", vdur(js.FirstDispatchV))
+	}
+	switch {
+	case js.Dead:
+		fmt.Fprintf(&w, "  dead-lettered %s", vdur(js.FinishedV))
+	case js.Done:
+		fmt.Fprintf(&w, "  completed %s  jct %s", vdur(js.FinishedV), vdur(js.FinishedV-js.OriginV))
+	default:
+		fmt.Fprintf(&w, "  in-flight at %s", vdur(b.clockV))
+	}
+	w.WriteByte('\n')
+
+	spans := append([]Span(nil), js.Spans...)
+	spans = append(spans, b.openAsSpans(js)...)
+	if len(spans) > 0 {
+		w.WriteString("  timeline:\n")
+		for i, s := range spans {
+			open := ""
+			if js.OpenCause != "" && i >= len(js.Spans) {
+				open = " (open)"
+			}
+			fmt.Fprintf(&w, "    %-16s %12s  [%s .. %s)%s", s.Cause,
+				vdur(s.EndV-s.StartV), vdur(s.StartV), vdur(s.EndV), open)
+			if s.Detail != "" {
+				w.WriteString("  ")
+				w.WriteString(s.Detail)
+			}
+			w.WriteByte('\n')
+		}
+	}
+
+	at, _ := b.AttributionOf(id)
+	w.WriteString("  attribution:\n")
+	for _, c := range Causes {
+		d := at.PerCause[c]
+		if d == 0 && c != CauseService {
+			continue
+		}
+		share := 0.0
+		if at.Total > 0 {
+			share = 100 * float64(d) / float64(at.Total)
+		}
+		fmt.Fprintf(&w, "    %-16s %12s  %5.1f%%\n", c, vdur(d), share)
+	}
+	fmt.Fprintf(&w, "    %-16s %12s\n", "total", vdur(at.Total))
+
+	if len(js.Notes) > 0 {
+		w.WriteString("  notes:\n")
+		for _, n := range js.Notes {
+			fmt.Fprintf(&w, "    %s %s", vdur(n.V), n.Cause)
+			if n.Detail != "" {
+				w.WriteString(": ")
+				w.WriteString(n.Detail)
+			}
+			w.WriteByte('\n')
+		}
+	}
+	if js.Faults > 0 || js.Preemptions > 0 {
+		fmt.Fprintf(&w, "  faults %d  preemptions %d\n", js.Faults, js.Preemptions)
+	}
+	return w.String()
+}
+
+// RenderAll renders every known job in ascending ID order, separated
+// by blank lines — muritrace's whole-log view.
+func (b *Builder) RenderAll() string {
+	var w strings.Builder
+	for i, id := range b.Jobs() {
+		if i > 0 {
+			w.WriteByte('\n')
+		}
+		w.WriteString(b.RenderJob(id))
+	}
+	return w.String()
+}
+
+// vdur formats a virtual-nanosecond stamp as a duration.
+func vdur(v int64) string { return time.Duration(v).String() }
+
+// EmitJobSpans exports one job's closed lifecycle spans to the trace
+// as real duration events: one "explain" process, one thread per job,
+// one complete (ph "X") event per span with the cause as the event
+// name and the detail in args. Called at completion so the Chrome
+// trace shows the same attribution the explain RPC reports.
+func (b *Builder) EmitJobSpans(tr *telemetry.Tracer, id int64) {
+	if !tr.Enabled() {
+		return
+	}
+	js := b.jobs[id]
+	if js == nil {
+		return
+	}
+	pid := tr.Process("explain")
+	tid := tr.Thread(pid, fmt.Sprintf("job %d", js.ID))
+	for _, s := range js.Spans {
+		var args map[string]any
+		if s.Detail != "" {
+			args = map[string]any{"detail": s.Detail}
+		}
+		tr.Span(pid, tid, s.Cause, "explain",
+			time.Duration(s.StartV), time.Duration(s.EndV-s.StartV), args)
+	}
+}
+
+// EmitSpans exports every known job's closed spans (muritrace's trace
+// output and end-of-run simulator export).
+func (b *Builder) EmitSpans(tr *telemetry.Tracer) {
+	for _, id := range b.Jobs() {
+		b.EmitJobSpans(tr, id)
+	}
+}
+
+// SortedCauses returns the attribution's causes with nonzero time in
+// canonical order — the iteration order for per-cause histogram
+// observation, kept here so server and sim observe identically.
+func (at Attribution) SortedCauses() []string {
+	out := make([]string, 0, len(at.PerCause))
+	for _, c := range Causes {
+		if at.PerCause[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	// Defensive: include any cause outside the canonical list too.
+	var extra []string
+	for c, d := range at.PerCause {
+		if d > 0 && !contains(Causes, c) {
+			extra = append(extra, c)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -72,6 +72,9 @@ type Item struct {
 	// attribution (a job's clock starts when it was accepted, not when a
 	// batch drain got around to admitting it).
 	At time.Time
+	// Depth is the queue depth observed just before this item entered —
+	// provenance detail for the ingest-queue wait span.
+	Depth int
 }
 
 // Stats snapshots the admitter's counters.
@@ -161,7 +164,7 @@ func (a *Admitter) Offer(spec proto.JobSpec) (id int64, wasEmpty bool, err error
 	a.nextID++
 	spec.ID = a.nextID
 	wasEmpty = len(a.q) == 0
-	a.q = append(a.q, Item{Spec: spec, At: now})
+	a.q = append(a.q, Item{Spec: spec, At: now, Depth: len(a.q)})
 	a.stats.Accepted++
 	return spec.ID, wasEmpty, nil
 }

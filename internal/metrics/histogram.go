@@ -96,15 +96,44 @@ func (h *Histogram) Cumulative() []uint64 {
 	return out
 }
 
-// Quantile estimates the p-quantile (0 < p ≤ 1) by linear interpolation
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by linear interpolation
 // within the owning bucket; observations above every finite bound clamp
-// to the largest bound. It returns 0 on an empty histogram.
+// to the largest bound. The domain endpoints are exact bucket edges,
+// never interpolations: p=0 returns the lower edge of the lowest
+// nonempty bucket and p=1 the upper bound of the highest nonempty one,
+// so extreme quantiles cannot extrapolate past the observed buckets or
+// pick up float rounding. It returns 0 on an empty histogram.
 func (h *Histogram) Quantile(p float64) float64 {
-	if p <= 0 || p > 1 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
 		panic(fmt.Sprintf("metrics: invalid quantile %v", p))
 	}
 	if h.count == 0 {
 		return 0
+	}
+	if p == 0 {
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			if i == 0 {
+				return 0
+			}
+			return h.bounds[i-1]
+		}
+	}
+	if p == 1 {
+		for i := len(h.counts) - 1; i >= 0; i-- {
+			if h.counts[i] == 0 {
+				continue
+			}
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return h.bounds[i]
+		}
 	}
 	rank := p * float64(h.count)
 	var cum uint64

@@ -57,6 +57,65 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the boundary semantics: p=0 and p=1
+// return the exact edges of the lowest/highest nonempty bucket — no
+// interpolation, no extrapolation past the observed buckets, and no
+// float rounding below the upper bound at p=1.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	if h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Error("empty histogram edge quantiles should be 0")
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(1.5) // (1, 2]
+	}
+	for i := 0; i < 7; i++ {
+		h.Observe(3) // (2, 4]
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want exact lower edge 1 of the lowest nonempty bucket", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %v, want exact upper bound 4 of the highest nonempty bucket", got)
+	}
+	// Interior quantiles still interpolate strictly inside their bucket.
+	if q := h.Quantile(0.999); q <= 2 || q > 4 {
+		t.Errorf("p99.9 = %v, want within (2, 4]", q)
+	}
+
+	// Lowest bucket occupied: p0 is that bucket's lower edge, zero.
+	lo := NewHistogram(1, 2)
+	lo.Observe(0.5)
+	if got := lo.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0 for the first bucket", got)
+	}
+	if got := lo.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want upper bound 1", got)
+	}
+
+	// Only the +Inf bucket occupied: both edges clamp to the largest
+	// finite bound rather than extrapolating.
+	inf := NewHistogram(1, 2)
+	inf.Observe(50)
+	if got := inf.Quantile(0); got != 2 {
+		t.Errorf("overflow p0 = %v, want clamp to 2", got)
+	}
+	if got := inf.Quantile(1); got != 2 {
+		t.Errorf("overflow p100 = %v, want clamp to 2", got)
+	}
+
+	for _, bad := range []float64{-0.01, 1.01, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", bad)
+				}
+			}()
+			h.Quantile(bad)
+		}()
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a, b := NewHistogram(1, 2), NewHistogram(1, 2)
 	a.Observe(0.5)

@@ -97,6 +97,14 @@ type Online struct {
 	// completion (predictions made with ≥1 prior sample).
 	sumAbsErr  float64
 	errSamples int
+	// bandHits/bandChecks score error-band calibration: of the scored
+	// predictions, how many measured totals actually fell inside the
+	// belief's ±band? A well-calibrated band covers most of them.
+	bandHits, bandChecks int
+	// predStage/measStage accumulate predicted vs measured per-stage
+	// seconds over scored completions, so telemetry can expose the
+	// predictor's systematic per-resource bias.
+	predStage, measStage [workload.NumResources]float64
 	// reseeds counts re-profiling events (Reseed calls).
 	reseeds int
 }
@@ -158,6 +166,15 @@ func (o *Online) observeLocked(model string, measured workload.StageTimes, servi
 	if m.n > 0 && mt > 0 {
 		o.sumAbsErr += math.Abs(m.meanTotal-mt) / mt
 		o.errSamples++
+		// Calibration: did the truth land inside the predicted band?
+		o.bandChecks++
+		if math.Abs(mt-m.meanTotal) <= m.band()*m.meanTotal {
+			o.bandHits++
+		}
+		for r := 0; r < workload.NumResources; r++ {
+			o.predStage[r] += m.mean[r]
+			o.measStage[r] += measured[r].Seconds()
+		}
 	}
 	m.n++
 	for r := 0; r < workload.NumResources; r++ {
@@ -223,6 +240,19 @@ func (o *Online) Error() (mean float64, samples int) {
 	return o.sumAbsErr / float64(o.errSamples), o.errSamples
 }
 
+// Calibration reports the predictor's error-band coverage — the
+// fraction of scored completions whose measured total fell inside the
+// belief's ±band — plus the accumulated predicted vs measured
+// per-stage seconds. checks is 0 before any scored completion.
+func (o *Online) Calibration() (coverage float64, checks int, pred, meas [workload.NumResources]float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.bandChecks > 0 {
+		coverage = float64(o.bandHits) / float64(o.bandChecks)
+	}
+	return coverage, o.bandChecks, o.predStage, o.measStage
+}
+
 // Stats summarizes the estimator for telemetry: distinct models with a
 // belief, total completions folded in, and re-profiling events.
 func (o *Online) Stats() (models, samples, reseeds int) {
@@ -257,11 +287,15 @@ type OnlineModelState struct {
 // the daemon's WAL snapshots so predictions survive restart and ride the
 // warm-standby replication stream.
 type OnlineState struct {
-	Models     map[string]OnlineModelState `json:"models,omitempty"`
-	History    []float64                   `json:"history,omitempty"`
-	SumAbsErr  float64                     `json:"sum_abs_err,omitempty"`
-	ErrSamples int                         `json:"err_samples,omitempty"`
-	Reseeds    int                         `json:"reseeds,omitempty"`
+	Models     map[string]OnlineModelState    `json:"models,omitempty"`
+	History    []float64                      `json:"history,omitempty"`
+	SumAbsErr  float64                        `json:"sum_abs_err,omitempty"`
+	ErrSamples int                            `json:"err_samples,omitempty"`
+	BandHits   int                            `json:"band_hits,omitempty"`
+	BandChecks int                            `json:"band_checks,omitempty"`
+	PredStage  [workload.NumResources]float64 `json:"pred_stage,omitempty"`
+	MeasStage  [workload.NumResources]float64 `json:"meas_stage,omitempty"`
+	Reseeds    int                            `json:"reseeds,omitempty"`
 }
 
 // Snapshot serializes the estimator.
@@ -272,6 +306,10 @@ func (o *Online) Snapshot() OnlineState {
 		History:    append([]float64(nil), o.history...),
 		SumAbsErr:  o.sumAbsErr,
 		ErrSamples: o.errSamples,
+		BandHits:   o.bandHits,
+		BandChecks: o.bandChecks,
+		PredStage:  o.predStage,
+		MeasStage:  o.measStage,
 		Reseeds:    o.reseeds,
 	}
 	if len(o.models) > 0 {
@@ -295,6 +333,10 @@ func (o *Online) Restore(st OnlineState) {
 	sort.Float64s(o.history)
 	o.sumAbsErr = st.SumAbsErr
 	o.errSamples = st.ErrSamples
+	o.bandHits = st.BandHits
+	o.bandChecks = st.BandChecks
+	o.predStage = st.PredStage
+	o.measStage = st.MeasStage
 	o.reseeds = st.Reseeds
 }
 

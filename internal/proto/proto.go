@@ -45,6 +45,8 @@ const (
 	TypeInjectFaultAck Type = "inject_fault_ack" // result of the injection
 	TypeTrace          Type = "trace"            // snapshot the daemon's trace ring
 	TypeTraceAck       Type = "trace_ack"        // Chrome trace-event JSON payload
+	TypeExplain        Type = "explain"          // ask why a job waited: lifecycle spans + attribution
+	TypeExplainAck     Type = "explain_ack"      // rendered explanation text
 	TypeDebugCrash     Type = "debug_crash"      // arm a crash-injection point (-unsafe-debug only)
 	TypeDebugCrashAck  Type = "debug_crash_ack"
 
@@ -472,6 +474,21 @@ type TraceAck struct {
 	Err   string          `json:"err,omitempty"`
 }
 
+// ExplainReq asks the scheduler for one job's decision provenance:
+// its lifecycle span timeline and exact wait-time attribution.
+type ExplainReq struct {
+	JobID int64 `json:"job_id"`
+}
+
+// ExplainAck carries the server-rendered explanation. The text is
+// rendered daemon-side (not client-side from structured fields) so the
+// live output is byte-identical to what `muritrace` reconstructs from
+// the WAL alone — the parity tests diff the two verbatim.
+type ExplainAck struct {
+	Text string `json:"text,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
 // Message is the framed envelope. Exactly one payload field matching Type
 // should be set.
 type Message struct {
@@ -496,6 +513,8 @@ type Message struct {
 	InjectFaultAck *InjectFaultAck `json:"inject_fault_ack,omitempty"`
 	Trace          *TraceReq       `json:"trace,omitempty"`
 	TraceAck       *TraceAck       `json:"trace_ack,omitempty"`
+	Explain        *ExplainReq     `json:"explain,omitempty"`
+	ExplainAck     *ExplainAck     `json:"explain_ack,omitempty"`
 	DebugCrash     *DebugCrash     `json:"debug_crash,omitempty"`
 	DebugCrashAck  *DebugCrashAck  `json:"debug_crash_ack,omitempty"`
 	ReplSubscribe  *ReplSubscribe  `json:"repl_subscribe,omitempty"`

@@ -112,6 +112,13 @@ type priorityPolicy struct {
 func (p priorityPolicy) Name() string     { return p.name }
 func (p priorityPolicy) Preemptive() bool { return p.preemptive }
 
+// PriorityKey exposes the comparator key that orders job j (lower runs
+// first) — the engine's provenance layer uses it to explain why a job
+// ranked behind its blockers.
+func (p priorityPolicy) PriorityKey(now time.Duration, j *job.Job) float64 {
+	return p.key(now, j)
+}
+
 func (p priorityPolicy) Plan(now time.Duration, jobs []*job.Job, capacity int) []Unit {
 	ordered := append([]*job.Job{}, jobs...)
 	sortJobs(ordered, func(j *job.Job) float64 { return p.key(now, j) })
@@ -412,6 +419,23 @@ func (m *Muri) Name() string {
 
 // Preemptive implements Policy.
 func (m *Muri) Preemptive() bool { return true }
+
+// PriorityKey exposes the comparator key orderJobs ranks job j with
+// (SRSF for Muri-S, 2D-LAS for Muri-L, quantized when the run
+// quantizes estimates), so ranked-behind provenance can cite the exact
+// values that ordered the queue.
+func (m *Muri) PriorityKey(_ time.Duration, j *job.Job) float64 {
+	var key float64
+	if m.KnownDurations {
+		key = j.SRSF()
+	} else {
+		key = j.LAS2D()
+	}
+	if m.QuantizeEstimates {
+		key = quantPow2(key)
+	}
+	return key
+}
 
 // Plan implements Policy: sort by priority, take candidates to fill the
 // cluster CandidateFactor times over, group with Algorithm 1, and order

@@ -171,6 +171,27 @@ func (c *Client) TraceSnapshot() ([]byte, error) {
 	return reply.TraceAck.Trace, nil
 }
 
+// Explain fetches one job's decision provenance: its lifecycle span
+// timeline and exact wait-time attribution, rendered daemon-side so the
+// text is byte-identical to a muritrace reconstruction from the WAL.
+func (c *Client) Explain(jobID int64) (string, error) {
+	if err := c.codec.Write(&proto.Message{Type: proto.TypeExplain,
+		Explain: &proto.ExplainReq{JobID: jobID}}); err != nil {
+		return "", err
+	}
+	reply, err := c.codec.Read()
+	if err != nil {
+		return "", err
+	}
+	if reply.Type != proto.TypeExplainAck || reply.ExplainAck == nil {
+		return "", fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if reply.ExplainAck.Err != "" {
+		return "", fmt.Errorf("client: explain: %s", reply.ExplainAck.Err)
+	}
+	return reply.ExplainAck.Text, nil
+}
+
 // Replay submits every job of a trace to the scheduler, pacing the
 // submissions by the trace's inter-arrival gaps compressed by timeScale
 // (wall sleep = virtual gap × timeScale). Iteration counts derive from

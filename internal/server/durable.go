@@ -146,6 +146,10 @@ func (s *Server) restoreLocked(rec *wal.Recovery) {
 	}
 	s.walReplayed = len(rec.Records)
 	s.replayLostOrigin = ""
+	// Re-derive the freeze-marker mirror from the replayed fold, so the
+	// first post-recovery round emits exactly one start marker (or an
+	// end marker if the crash interrupted a freeze).
+	s.explFrozen = s.expl.Frozen()
 	// Virtual-clock continuity: restart the wall anchor so virtualNow
 	// resumes from the last durable virtual instant instead of zero.
 	now := time.Now()
@@ -215,6 +219,9 @@ func (s *Server) applySnapshotLocked(sn *wal.Snapshot) {
 	if sn.Predictor != nil {
 		s.est.Restore(*sn.Predictor)
 	}
+	if err := s.expl.Restore(sn.Explain); err != nil {
+		s.log.Error("recovery: explain state unreadable; provenance resets", "err", err)
+	}
 	if sn.Term > s.term.Load() {
 		s.term.Store(sn.Term)
 	}
@@ -246,6 +253,13 @@ func (s *Server) rebuildJobLocked(spec proto.JobSpec, submitV int64, at time.Tim
 // observer callbacks, no new WAL writes, no histograms (documented
 // loss: histograms reset on restart). Callers hold s.mu.
 func (s *Server) replayRecordLocked(r *wal.Record) {
+	// The explain builder sees every record in log order — the same feed
+	// walAppendLocked gave it live — so a recovered daemon renders
+	// explanations byte-identical to the uninterrupted one. KindCause
+	// records exist only for this fold; they have no other replay effect.
+	if s.expl != nil {
+		s.expl.Apply(r)
+	}
 	switch r.Kind {
 	case wal.KindAdmit:
 		if r.Admit == nil {
@@ -406,11 +420,21 @@ func (s *Server) replayFaultLocked(f *wal.FaultRecord, wall int64) {
 // replication handshake (snapshot + tap attach) promise a gap-free
 // stream. Callers hold s.mu.
 func (s *Server) walAppendLocked(rec *wal.Record) {
-	if s.w == nil || s.closed {
+	if s.closed {
 		return
 	}
 	rec.V = int64(s.virtualNowLocked())
 	rec.W = time.Now().UnixNano()
+	// The explain builder folds every record exactly as it becomes
+	// durable — the same fold replay and muritrace run, which is what
+	// pins live explanations byte-identical to offline reconstruction.
+	// Fed before the no-WAL early-out so explain works without -state-dir.
+	if s.expl != nil {
+		s.expl.Apply(rec)
+	}
+	if s.w == nil {
+		return
+	}
 	if _, err := s.w.Append(rec); err != nil {
 		s.log.Error("wal append failed", "kind", string(rec.Kind), "err", err)
 	}
@@ -423,9 +447,7 @@ func (s *Server) observeDecision(d engine.Decision) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer(d)
 	}
-	if s.w != nil {
-		s.walAppendLocked(&wal.Record{Kind: wal.KindDecision, Decision: wal.FromDecision(d)})
-	}
+	s.walAppendLocked(&wal.Record{Kind: wal.KindDecision, Decision: wal.FromDecision(d)})
 }
 
 // walAdmitLocked logs one admission batch, capturing each job's actual
@@ -433,19 +455,22 @@ func (s *Server) observeDecision(d engine.Decision) {
 // drain, and replay must reproduce each one exactly). Callers hold
 // s.mu, after admitLocked ran for every item.
 func (s *Server) walAdmitLocked(items []ingest.Item) {
-	if s.w == nil {
-		return
-	}
 	ar := &wal.AdmitRecord{Items: make([]wal.AdmitItem, 0, len(items))}
 	for i := range items {
 		js := s.jobs[items[i].Spec.ID]
 		if js == nil {
 			continue // rejected at admit (unknown model)
 		}
+		waitV := int64(float64(time.Since(items[i].At)) / s.cfg.TimeScale)
+		if waitV < 0 {
+			waitV = 0
+		}
 		ar.Items = append(ar.Items, wal.AdmitItem{
 			Spec:      js.spec, // stages resolved by admitLocked
 			AtWall:    items[i].At.UnixNano(),
 			SubmitV:   int64(js.job.Submit),
+			WaitV:     waitV,
+			Depth:     items[i].Depth,
 			Profiling: s.eng.PhaseOf(job.ID(js.spec.ID)) == engine.PhaseProfiling,
 		})
 	}
@@ -500,6 +525,11 @@ func (s *Server) buildSnapshotLocked() *wal.Snapshot {
 	}
 	if ps := s.est.Snapshot(); len(ps.Models) > 0 || len(ps.History) > 0 {
 		sn.Predictor = &ps
+	}
+	if raw, err := s.expl.Snapshot(); err == nil {
+		sn.Explain = raw
+	} else {
+		s.log.Error("snapshot: explain state unserializable", "err", err)
 	}
 	if len(s.profiles) > 0 {
 		sn.Profiles = make(map[string][4]time.Duration, len(s.profiles))
@@ -598,7 +628,8 @@ func (s *Server) freezeForAdoptionLocked(wallNow time.Time) bool {
 		js.faultLog = append(js.faultLog, faultRecord{
 			at: wallNow, err: "executor did not re-register after recovery"})
 		s.faults.Requeues++
-		s.eng.Requeue(job.ID(id), engine.ReasonMachineLost)
+		s.eng.RequeueWithCause(job.ID(id), engine.ReasonMachineLost,
+			"executor did not re-register after recovery")
 	}
 	s.log.Warn("adoption grace expired; orphans requeued", "jobs", len(orphans))
 	s.adoptUntil = time.Time{}

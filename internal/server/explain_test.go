@@ -1,0 +1,119 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"muri/internal/explain"
+	"muri/internal/proto"
+	"muri/internal/sched"
+	"muri/internal/wal"
+)
+
+// TestExplainLiveMatchesWALRebuild is the byte-identity acceptance
+// test: run a preemption-bearing workload against a durable daemon,
+// capture each job's `explain` RPC text, SIGKILL-equivalently crash the
+// daemon (WAL abandoned unsynced; FsyncEvery=1 makes every appended
+// record durable anyway), then reconstruct the explanation offline from
+// the state dir exactly as cmd/muritrace does. The reconstruction must
+// equal the live RPC output byte-for-byte.
+func TestExplainLiveMatchesWALRebuild(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Policy:             sched.SRTF(),
+		StarvationPatience: 1 << 30,
+		StateDir:           dir,
+		FsyncEvery:         1,
+		SnapshotEvery:      40 * time.Millisecond,
+	}
+	h := startHarness(t, cfg, 1, nil)
+	c := h.client(t)
+	submit := func(iters int64) int64 {
+		t.Helper()
+		id, err := c.SubmitSpec(proto.JobSpec{
+			Model: "gpt2", GPUs: 8, Iterations: iters, Stages: parityStages,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// Long job starts; a shorter one preempts it under SRTF, so job 1's
+	// timeline carries service → capacity (preemptor identity) → service.
+	id1 := submit(1200)
+	waitStatus(t, c, "job 1 running",
+		func(st proto.StatusAck) bool { return stateOf(st, id1) == "running" })
+	id2 := submit(600)
+	waitStatus(t, c, "job 2 preempted job 1", func(st proto.StatusAck) bool {
+		return stateOf(st, id2) == "running" && stateOf(st, id1) == "pending"
+	})
+	if _, err := c.WaitAllDone(60*time.Second, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	live := make(map[int64]string)
+	for _, id := range []int64{id1, id2} {
+		text, err := c.Explain(id)
+		if err != nil {
+			t.Fatalf("explain %d: %v", id, err)
+		}
+		if !strings.Contains(text, "completed") || !strings.Contains(text, explain.CauseService) {
+			t.Errorf("explain %d missing lifecycle evidence:\n%s", id, text)
+		}
+		live[id] = text
+	}
+	if !strings.Contains(live[id1], "preemptions 1") {
+		t.Errorf("job %d explanation does not show its preemption:\n%s", id1, live[id1])
+	}
+	// RPC edge cases: unknown jobs render the one-line miss; a missing
+	// id is a wire error.
+	if text, err := c.Explain(999); err != nil || !strings.Contains(text, "no provenance recorded") {
+		t.Errorf("explain 999 = %q, %v; want a provenance miss", text, err)
+	}
+	if _, err := c.Explain(0); err == nil {
+		t.Error("explain without a job id should be rejected")
+	}
+
+	// The wait-attribution histogram observed both completions, per
+	// cause, and the predictor-calibration gauges are exported.
+	rec := httptest.NewRecorder()
+	h.srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, frag := range []string{
+		`muri_wait_attribution_seconds_count{cause="service"} 2`,
+		`muri_wait_attribution_seconds_bucket{cause="capacity"`,
+		"muri_predictor_band_coverage",
+		"muri_predictor_stage_predicted_seconds_gpu",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("metrics scrape missing %q", frag)
+		}
+	}
+
+	h.srv.Crash()
+
+	recov, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recov.Corruption != nil {
+		t.Fatalf("unexpected corruption: %+v", recov.Corruption)
+	}
+	b := explain.NewBuilder()
+	if recov.Snapshot != nil {
+		if err := b.Restore(recov.Snapshot.Explain); err != nil {
+			t.Fatalf("restore snapshot explain state: %v", err)
+		}
+	}
+	for i := range recov.Records {
+		b.Apply(&recov.Records[i])
+	}
+	for id, want := range live {
+		if got := b.RenderJob(id); got != want {
+			t.Errorf("job %d: offline reconstruction diverges from live RPC\nlive:\n%s\noffline:\n%s",
+				id, want, got)
+		}
+	}
+}

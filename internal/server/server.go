@@ -24,6 +24,7 @@ import (
 
 	"muri/internal/crashpoint"
 	"muri/internal/engine"
+	"muri/internal/explain"
 	"muri/internal/ingest"
 	"muri/internal/job"
 	"muri/internal/metrics"
@@ -256,6 +257,18 @@ type Server struct {
 	// jctHist observes each finished job's virtual JCT in seconds;
 	// roundHist observes each scheduling round's wall latency in seconds.
 	jctHist, roundHist *telemetry.Histogram
+	// waitAttrHist observes, per cause, each finished job's exact
+	// wait-time attribution in virtual seconds.
+	waitAttrHist *telemetry.HistogramVec
+
+	// expl folds the daemon's record stream into per-job lifecycle spans
+	// (decision provenance). Fed by walAppendLocked before the no-WAL
+	// early-out and by replay, so live rendering and the offline
+	// muritrace reconstruction are byte-identical. Guarded by s.mu.
+	expl *explain.Builder
+	// explFrozen mirrors the last adoption-freeze marker emitted, so
+	// scheduleLocked logs exactly one start/end pair per freeze.
+	explFrozen bool
 
 	// adm is the admission front door: submissions queue here under the
 	// admitter's own lock (never s.mu, so submit latency stays flat even
@@ -362,6 +375,7 @@ func New(cfg Config) *Server {
 		role:         roleSolo,
 		started:      time.Now(),
 		tracer:       telemetry.NewTracer(cfg.TraceEvents),
+		expl:         explain.NewBuilder(),
 		adm: ingest.New(ingest.Config{
 			Capacity:    cfg.IngestCapacity,
 			TenantRate:  cfg.TenantRate,
@@ -387,7 +401,10 @@ func New(cfg Config) *Server {
 		// observeDecision wraps the caller's tap and makes every decision
 		// durable in the WAL before the round moves on.
 		Observer: s.observeDecision,
-		Tracer:   s.tracer,
+		// provenance turns each decision site's cause annotation into a
+		// durable KindCause record feeding the explain builder.
+		Provenance: s.provenance,
+		Tracer:     s.tracer,
 		// virtualNowLocked reads only immutable fields, so the engine may
 		// stamp trace events from any point of the reconcile path.
 		Now: s.virtualNowLocked,
@@ -552,7 +569,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.handleReplSubscribe(conn, codec, m.ReplSubscribe)
 		}
 	case proto.TypeSubmit, proto.TypeSubmitBatch, proto.TypeStatus, proto.TypeInjectFault,
-		proto.TypeTrace, proto.TypeDebugCrash:
+		proto.TypeTrace, proto.TypeExplain, proto.TypeDebugCrash:
 		s.handleClient(conn, codec, m)
 	default:
 		s.log.Warn("unexpected first message", "type", m.Type)
@@ -690,7 +707,8 @@ func (s *Server) dropExecutor(e *executorConn) {
 		for _, jid := range g.jobs {
 			if js := s.jobs[jid]; js != nil && s.eng.PhaseOf(job.ID(jid)) == engine.PhaseRunning {
 				s.walProgressLocked(js)
-				s.eng.Requeue(job.ID(jid), engine.ReasonMachineLost)
+				s.eng.RequeueWithCause(job.ID(jid), engine.ReasonMachineLost,
+					"machine "+e.id+" lost")
 				js.groupID = 0
 				js.faultLog = append(js.faultLog,
 					faultRecord{at: time.Now(), executor: e.id, err: "executor lost"})
@@ -745,6 +763,14 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 				ack.Trace = data
 			}
 			reply = proto.Message{Type: proto.TypeTraceAck, TraceAck: &ack}
+		case proto.TypeExplain:
+			ack := proto.ExplainAck{}
+			if m.Explain == nil || m.Explain.JobID <= 0 {
+				ack.Err = "explain needs a job id"
+			} else {
+				ack.Text = s.explainJob(m.Explain.JobID)
+			}
+			reply = proto.Message{Type: proto.TypeExplainAck, ExplainAck: &ack}
 		case proto.TypeDebugCrash:
 			ack := proto.DebugCrashAck{OK: true}
 			switch {
@@ -772,6 +798,23 @@ func (s *Server) handleClient(conn net.Conn, codec *proto.Codec, first *proto.Me
 			return
 		}
 	}
+}
+
+// provenance is the engine's cause hook: every structured annotation a
+// decision site emits (wait-cause transitions, starvation-boost notes)
+// becomes a durable KindCause record, which both feeds the live
+// explain builder and lets muritrace reconstruct the identical
+// explanation offline. Runs under s.mu (the engine is driven under it).
+func (s *Server) provenance(ev engine.CauseEvent) {
+	s.walAppendLocked(&wal.Record{Kind: wal.KindCause, Cause: &wal.CauseRecord{
+		Job: int64(ev.Job), Cause: ev.Cause, Detail: ev.Detail, Note: ev.Note}})
+}
+
+// explainJob renders one job's provenance under the scheduling lock.
+func (s *Server) explainJob(id int64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expl.RenderJob(id)
 }
 
 // submit validates a spec and offers it to the admission queue. It
@@ -991,6 +1034,15 @@ func (s *Server) onJobDone(d *proto.JobDone) {
 	}
 	jct := time.Duration(float64(js.finishedAt.Sub(js.submittedAt)) / s.cfg.TimeScale)
 	s.jctHist.Observe(jct.Seconds())
+	// The done record just folded into the explain builder, so the job's
+	// attribution is final: observe each cause's exact share and export
+	// the lifecycle spans onto the trace.
+	if at, ok := s.expl.AttributionOf(d.JobID); ok {
+		for _, c := range at.SortedCauses() {
+			s.waitAttrHist.Observe(c, time.Duration(at.PerCause[c]).Seconds())
+		}
+		s.expl.EmitJobSpans(s.tracer, d.JobID)
+	}
 	s.detachFromGroupLocked(d.GroupID, d.JobID)
 	s.kickSchedule()
 }
@@ -1042,6 +1094,9 @@ func (s *Server) recordJobFaultLocked(js *jobState, origin, errMsg string) {
 	}
 	js.notBefore = time.Now().Add(backoff)
 	fr.NotBeforeWall = js.notBefore.UnixNano()
+	// The backoff release on the virtual clock, so wait attribution can
+	// split fault-backoff from capacity exactly at the boundary.
+	fr.NotBeforeV = int64(s.virtualNowLocked()) + int64(float64(backoff)/s.cfg.TimeScale)
 	s.walAppendLocked(&wal.Record{Kind: wal.KindFault, Fault: fr})
 	s.faults.Requeues++
 	s.log.Warn("job faulted; requeued", "job", js.spec.ID, "machine", origin, "err", errMsg,
@@ -1150,8 +1205,20 @@ func (s *Server) scheduleLocked() {
 		s.snapshotLocked()
 	}
 	// Post-recovery adoption grace: hold rounds while recovered running
-	// jobs wait for their executors to re-register.
-	if s.freezeForAdoptionLocked(wallNow) {
+	// jobs wait for their executors to re-register. Freeze boundaries are
+	// logged as global provenance markers so every waiting job's
+	// attribution charges the frozen rounds to adoption, not capacity.
+	frozen := s.freezeForAdoptionLocked(wallNow)
+	if frozen != s.explFrozen {
+		detail := "end"
+		if frozen {
+			detail = "start"
+		}
+		s.walAppendLocked(&wal.Record{Kind: wal.KindCause,
+			Cause: &wal.CauseRecord{Cause: explain.CauseAdoptionFreeze, Detail: detail}})
+		s.explFrozen = frozen
+	}
+	if frozen {
 		return
 	}
 	// Retry profiling for jobs stuck without an executor earlier.
@@ -1455,7 +1522,10 @@ func (s *Server) status() proto.StatusAck {
 		QueueDepth:   es.QueueDepth,
 		Reprofiles:   es.Reprofiles,
 	}
-	if models, samples, reseeds := s.est.Stats(); models > 0 {
+	// Print whenever the estimator has learned anything: oracle-family
+	// policies don't consult it, but it still learns from completions,
+	// and status should say so (gate on samples, not models).
+	if models, samples, reseeds := s.est.Stats(); models > 0 || samples > 0 {
 		meanErr, errN := s.est.Error()
 		ack.Predictor = &proto.PredictorSummary{
 			Models:      models,

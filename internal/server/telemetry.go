@@ -12,6 +12,7 @@ import (
 	"muri/internal/ingest"
 	"muri/internal/metrics"
 	"muri/internal/telemetry"
+	"muri/internal/workload"
 )
 
 // initMetrics registers the daemon's metric set. Engine, fault, and
@@ -115,6 +116,21 @@ func (s *Server) initMetrics() {
 		func() uint64 { _, _, rs := s.est.Stats(); return uint64(rs) })
 	r.GaugeFunc("muri_predictor_error_mean", "Mean absolute relative prediction error over scored completions.",
 		func() float64 { e, _ := s.est.Error(); return e })
+	// Predictor calibration: error-band coverage plus predicted vs
+	// measured per-stage service sums (workload.Resources order).
+	r.GaugeFunc("muri_predictor_band_coverage", "Fraction of scored completions whose measured total fell inside the predicted error band.",
+		func() float64 { c, _, _, _ := s.est.Calibration(); return c })
+	r.GaugeFunc("muri_predictor_band_checks", "Scored completions behind the band-coverage rate.",
+		func() float64 { _, n, _, _ := s.est.Calibration(); return float64(n) })
+	for res := 0; res < workload.NumResources; res++ {
+		stage := workload.Resource(res).String()
+		r.GaugeFunc("muri_predictor_stage_predicted_seconds_"+stage,
+			"Predicted per-iteration "+stage+" stage seconds, summed over scored completions.",
+			func() float64 { _, _, p, _ := s.est.Calibration(); return p[res] })
+		r.GaugeFunc("muri_predictor_stage_measured_seconds_"+stage,
+			"Measured per-iteration "+stage+" stage seconds, summed over scored completions.",
+			func() float64 { _, _, _, m := s.est.Calibration(); return m[res] })
+	}
 	r.CounterFunc("muri_sched_reprofiles_total", "Completions that tripped the engine's re-profiling threshold.",
 		engCounter(func() int { return s.eng.Stats().Reprofiles }))
 
@@ -123,6 +139,12 @@ func (s *Server) initMetrics() {
 	s.jctHist = r.Histogram("muri_jct_seconds",
 		"Virtual job completion time of finished jobs.",
 		metrics.ExponentialBounds(1, 2, 16)...)
+	// Per-cause wait attribution: each finished job contributes one
+	// observation per cause with nonzero time, in virtual seconds. The
+	// sum over causes of _sum equals the total attributed JCT exactly.
+	s.waitAttrHist = r.HistogramVec("muri_wait_attribution_seconds",
+		"Virtual seconds of finished jobs' lifetime attributed to each wait cause.",
+		"cause", metrics.ExponentialBounds(1, 2, 16)...)
 	s.roundHist = r.Histogram("muri_round_latency_seconds",
 		"Wall-clock latency of scheduling rounds.",
 		metrics.ExponentialBounds(1e-6, 10, 8)...)

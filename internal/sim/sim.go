@@ -19,14 +19,17 @@ import (
 
 	"muri/internal/cluster"
 	"muri/internal/engine"
+	"muri/internal/explain"
 	"muri/internal/faults"
 	"muri/internal/interleave"
 	"muri/internal/job"
 	"muri/internal/metrics"
 	"muri/internal/profile"
+	"muri/internal/proto"
 	"muri/internal/sched"
 	"muri/internal/telemetry"
 	"muri/internal/trace"
+	"muri/internal/wal"
 	"muri/internal/workload"
 )
 
@@ -99,6 +102,15 @@ type Config struct {
 	// the interleaving pattern without recording every iteration of a
 	// multi-day job). Zero uses the default of 4.
 	TraceStageCycles int
+	// Explain, when non-nil, collects decision provenance: the simulator
+	// synthesizes the same record stream the live daemon appends to its
+	// WAL (admissions, decisions, fault-ledger mutations, completions,
+	// cause annotations) and folds it through this builder, so per-job
+	// lifecycle spans and exact wait-time attribution are available for
+	// simulated runs too. It also enables the engine's cause annotations
+	// (which never enter Decision.String(), so the decision stream — and
+	// every golden pinned to it — is bit-identical with or without it).
+	Explain *explain.Builder
 	// Debug, when non-nil, receives a one-line summary of every
 	// scheduling decision (useful for diagnosing placement behaviour).
 	Debug io.Writer
@@ -303,6 +315,10 @@ type sim struct {
 	// newer attempt.
 	jobFaults []jobFault
 	fstats    metrics.FaultStats
+
+	// explFaults counts per-job transient faults for the synthesized
+	// fault-ledger records (nil unless cfg.Explain is set).
+	explFaults map[job.ID]int
 }
 
 // jobFault is one scheduled transient job fault.
@@ -344,17 +360,37 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 		cluster: cluster.New(cfg.Machines, cfg.GPUsPerMachine),
 		policy:  policy,
 	}
+	// With provenance enabled, tee the decision stream into the explain
+	// builder as synthesized WAL records (the exact shape the daemon
+	// appends) and hook the engine's cause annotations.
+	observer := cfg.Observer
+	var provenance func(engine.CauseEvent)
+	if cfg.Explain != nil {
+		s.explFaults = make(map[job.ID]int)
+		inner := observer
+		observer = func(d engine.Decision) {
+			if inner != nil {
+				inner(d)
+			}
+			s.explRecord(&wal.Record{Kind: wal.KindDecision, Decision: wal.FromDecision(d)})
+		}
+		provenance = func(ev engine.CauseEvent) {
+			s.explRecord(&wal.Record{Kind: wal.KindCause, Cause: &wal.CauseRecord{
+				Job: int64(ev.Job), Cause: ev.Cause, Detail: ev.Detail, Note: ev.Note}})
+		}
+	}
 	s.eng = engine.New(engine.Config{
 		Policy:             policy,
 		Style:              engine.ReplaceAll,
 		StarvationPatience: cfg.StarvationPatience,
 		// The simulator's failure model retries from checkpoint
 		// indefinitely: no backoff, no dead-letter budget.
-		Retry:     engine.RetryPolicy{Budget: -1},
-		Observer:  cfg.Observer,
-		Tracer:    cfg.Trace,
-		Now:       func() time.Duration { return s.now },
-		Estimator: cfg.Estimator,
+		Retry:      engine.RetryPolicy{Budget: -1},
+		Observer:   observer,
+		Provenance: provenance,
+		Tracer:     cfg.Trace,
+		Now:        func() time.Duration { return s.now },
+		Estimator:  cfg.Estimator,
 	})
 	if !cfg.Faults.Empty() {
 		s.plan = cfg.Faults
@@ -362,6 +398,12 @@ func Run(cfg Config, tr trace.Trace, policy sched.Policy) Result {
 	}
 	s.buildJobs(tr)
 	s.loop()
+	if cfg.Explain != nil && cfg.Trace != nil {
+		// Render the folded lifecycle spans as duration events on the
+		// run's Chrome trace (one thread per job under an "explain"
+		// process), alongside the engine's decision instants.
+		cfg.Explain.EmitSpans(cfg.Trace)
+	}
 	return Result{
 		Policy:      policy.Name(),
 		Summary:     metrics.Summarize(s.done),
@@ -570,8 +612,10 @@ func (s *sim) crashMachine(e faults.MachineEvent) {
 			j.State = job.Pending
 			// The engine forgets the placement, so the next admission
 			// charges a full checkpoint restart even if the unit reforms
-			// identically.
-			s.eng.Requeue(j.ID, engine.ReasonMachineLost)
+			// identically. The cause annotation names the lost machine
+			// (inert — and absent from the decision stream — unless
+			// provenance is enabled).
+			s.eng.RequeueWithCause(j.ID, engine.ReasonMachineLost, machineLabel(e.Machine)+" lost")
 			s.pending = append(s.pending, j)
 		}
 	}
@@ -611,7 +655,20 @@ func (s *sim) failJob(f jobFault) {
 			s.recordAt(f.at, "fault", j.ID, engine.UnitKey(u.spec), allocMachines(u.alloc))
 			s.traceFault(fmt.Sprintf("transient fault job %d", j.ID), f.at, map[string]any{"job": int64(j.ID)})
 			j.State = job.Pending
-			s.eng.RecordFault(j.ID)
+			backoff, deadlettered := s.eng.RecordFault(j.ID)
+			if s.cfg.Explain != nil {
+				// Mirror the daemon's fault-ledger record (after the
+				// engine's requeue decision, exactly as the WAL orders
+				// them). The sim's retry policy has no backoff, but the
+				// release time is computed the same way regardless.
+				s.explFaults[j.ID]++
+				s.explRecord(&wal.Record{Kind: wal.KindFault, Fault: &wal.FaultRecord{
+					Job:          int64(j.ID),
+					Faults:       s.explFaults[j.ID],
+					DeadLettered: deadlettered,
+					NotBeforeV:   int64(s.now) + int64(backoff),
+				}})
+			}
 			s.pending = append(s.pending, j)
 			s.removeMember(u, i)
 			return
@@ -673,11 +730,42 @@ func (s *sim) refreshBelief(j *job.Job) {
 
 // admitArrivals moves jobs whose submit time has passed into the queue.
 func (s *sim) admitArrivals() {
+	first := s.arrived
 	for s.arrived < len(s.all) && s.all[s.arrived].Submit <= s.now {
 		s.record("submit", s.all[s.arrived].ID, "", "")
 		s.pending = append(s.pending, s.all[s.arrived])
 		s.arrived++
 	}
+	if s.cfg.Explain != nil && s.arrived > first {
+		s.explAdmit(s.all[first:s.arrived])
+	}
+}
+
+// explRecord stamps one synthesized record with the virtual clock and
+// folds it into the explain builder (caller guarantees cfg.Explain set).
+func (s *sim) explRecord(r *wal.Record) {
+	r.V = int64(s.now)
+	s.cfg.Explain.Apply(r)
+}
+
+// explAdmit feeds one admission batch to the explain builder. The
+// simulator has no ingest queue, so WaitV is zero and each job's
+// timeline origin is its trace submit time — attribution then sums to
+// the same JCT the metrics report (FinishedAt − Submit).
+func (s *sim) explAdmit(jobs []*job.Job) {
+	rec := &wal.AdmitRecord{Items: make([]wal.AdmitItem, len(jobs))}
+	for i, j := range jobs {
+		rec.Items[i] = wal.AdmitItem{
+			Spec: proto.JobSpec{
+				ID:         int64(j.ID),
+				Model:      j.Model.Name,
+				GPUs:       j.GPUs,
+				Iterations: j.Iterations,
+			},
+			SubmitV: int64(j.Submit),
+		}
+	}
+	s.explRecord(&wal.Record{Kind: wal.KindAdmit, Admit: rec})
 }
 
 // simPlacer adapts the modeled cluster to the engine's Placer
@@ -968,6 +1056,13 @@ func (s *sim) advanceUnit(u *unit, from, to time.Duration) {
 		s.done = append(s.done, j)
 		if s.cfg.RecordTimeline {
 			s.timeline = append(s.timeline, Event{Time: firstAt, Kind: "finish", Job: j.ID})
+		}
+		if s.cfg.Explain != nil {
+			// Completions carry their own instant (mid-advance, between
+			// scheduling points), closing the job's service span exactly
+			// at the finish time the metrics see.
+			s.cfg.Explain.Apply(&wal.Record{Kind: wal.KindDone, V: int64(firstAt),
+				Done: &wal.DoneRecord{Job: int64(j.ID), FinishedV: int64(firstAt)}})
 		}
 		// Policies that learn from completions (e.g. the Gittins index)
 		// observe the job's 2D service demand.

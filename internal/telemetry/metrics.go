@@ -63,6 +63,54 @@ func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float
 	return h.h.Bounds(), h.h.Cumulative(), h.h.Sum(), h.h.Count()
 }
 
+// HistogramVec is a family of histograms sharing one name and bucket
+// layout, split by a single label (e.g. per-cause wait attribution).
+// Children materialize on first Observe and export as one metric with
+// one HELP/TYPE header and per-label series.
+type HistogramVec struct {
+	mu     sync.Mutex
+	label  string
+	bounds []float64
+	kids   map[string]*Histogram
+}
+
+// NewHistogramVec builds a histogram family keyed by label.
+func NewHistogramVec(label string, bounds ...float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, kids: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (hv *HistogramVec) With(value string) *Histogram {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	h := hv.kids[value]
+	if h == nil {
+		h = NewHistogram(hv.bounds...)
+		hv.kids[value] = h
+	}
+	return h
+}
+
+// Observe counts one value under the label value.
+func (hv *HistogramVec) Observe(value string, v float64) { hv.With(value).Observe(v) }
+
+// children snapshots the family in sorted label order (stable scrapes).
+func (hv *HistogramVec) children() (label string, values []string, kids []*Histogram) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	values = make([]string, 0, len(hv.kids))
+	for v := range hv.kids {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	kids = make([]*Histogram, len(values))
+	for i, v := range values {
+		kids[i] = hv.kids[v]
+	}
+	return hv.label, values, kids
+}
+
 // metricKind is the Prometheus metric type of a registration.
 type metricKind string
 
@@ -81,6 +129,7 @@ type registration struct {
 	counter     *Counter
 	gauge       *Gauge
 	hist        *Histogram
+	histVec     *HistogramVec
 	counterFunc func() uint64
 	gaugeFunc   func() float64
 }
@@ -132,6 +181,14 @@ func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
 	return h
 }
 
+// HistogramVec registers and returns a label-split histogram family
+// over bounds.
+func (r *Registry) HistogramVec(name, help, label string, bounds ...float64) *HistogramVec {
+	hv := NewHistogramVec(label, bounds...)
+	r.add(registration{name: name, help: help, kind: kindHistogram, histVec: hv})
+	return hv
+}
+
 // CounterFunc registers a counter sampled from fn at scrape time.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 	r.add(registration{name: name, help: help, kind: kindCounter, counterFunc: fn})
@@ -169,6 +226,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %s\n", reg.name, formatFloat(reg.gaugeFunc()))
 		case reg.hist != nil:
 			err = writeHistogram(w, reg.name, reg.hist)
+		case reg.histVec != nil:
+			err = writeHistogramVec(w, reg.name, reg.histVec)
 		}
 		if err != nil {
 			return err
@@ -190,6 +249,29 @@ func writeHistogram(w io.Writer, name string, h *Histogram) error {
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(sum), name, count); err != nil {
 		return err
+	}
+	return nil
+}
+
+// writeHistogramVec renders one histogram family: per-label series
+// under one name, labels in sorted order.
+func writeHistogramVec(w io.Writer, name string, hv *HistogramVec) error {
+	label, values, kids := hv.children()
+	for i, value := range values {
+		bounds, cum, sum, count := kids[i].Snapshot()
+		series := fmt.Sprintf("%s=%q", label, value)
+		for j, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, series, formatFloat(b), cum[j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, series, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n",
+			name, series, formatFloat(sum), name, series, count); err != nil {
+			return err
+		}
 	}
 	return nil
 }

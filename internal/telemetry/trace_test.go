@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -49,6 +51,82 @@ func TestTracerExportParseRoundtrip(t *testing.T) {
 		if s.Name == "job 1: load data" && s.Dur != 5000 {
 			t.Errorf("span dur = %v µs, want 5000", s.Dur)
 		}
+	}
+}
+
+// TestParseTraceDurationEvents pins the duration-event handling:
+// complete ("X") events round-trip through export/parse with exact
+// timestamps, durations, and args, and foreign begin/end ("B"/"E")
+// pairs — legal trace JSON that our tracer never emits but external
+// tools produce — parse losslessly, survive a re-marshal round trip,
+// and are excluded from Spans() (which is complete-events-only).
+func TestParseTraceDurationEvents(t *testing.T) {
+	tr := NewTracer(0)
+	pid := tr.Process("explain")
+	tid := tr.Thread(pid, "job 1")
+	tr.Span(pid, tid, "service", "explain", 250*time.Microsecond, 1750*time.Microsecond,
+		map[string]any{"detail": "interleaved x2"})
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := f.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("parsed %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Phase != "X" || s.Name != "service" || s.Cat != "explain" {
+		t.Errorf("span = %+v, want X/service/explain", s)
+	}
+	if s.TS != 250 || s.Dur != 1750 {
+		t.Errorf("span ts/dur = %v/%v µs, want 250/1750", s.TS, s.Dur)
+	}
+	if got, _ := s.Args["detail"].(string); got != "interleaved x2" {
+		t.Errorf("span args = %v, want detail preserved", s.Args)
+	}
+
+	// Hand-written begin/end pairs alongside a complete event.
+	raw := `{"traceEvents":[
+		{"name":"fit","cat":"sched","ph":"B","ts":10,"pid":1,"tid":2},
+		{"name":"fit","cat":"sched","ph":"E","ts":40,"pid":1,"tid":2},
+		{"name":"place","cat":"sched","ph":"X","ts":15,"dur":20,"pid":1,"tid":3}
+	]}`
+	f2, err := ParseTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f2.TraceEvents); got != 3 {
+		t.Fatalf("parsed %d events, want 3", got)
+	}
+	if got := len(f2.Spans()); got != 1 {
+		t.Errorf("Spans() returned %d events, want the single X event", got)
+	}
+	var phases []string
+	for _, e := range f2.TraceEvents {
+		phases = append(phases, e.Phase)
+	}
+	if strings.Join(phases, "") != "BEX" {
+		t.Errorf("phases = %v, want B,E,X in order", phases)
+	}
+	if b, e := f2.TraceEvents[0], f2.TraceEvents[1]; b.TS != 10 || e.TS != 40 ||
+		b.Name != e.Name || b.PID != e.PID || b.TID != e.TID {
+		t.Errorf("B/E pair did not parse losslessly: %+v / %+v", b, e)
+	}
+	// Re-marshal and reparse: the B/E events survive our own encoding.
+	again, err := json.Marshal(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := ParseTrace(bytes.NewReader(again))
+	if err != nil {
+		t.Fatalf("re-marshaled trace does not parse: %v", err)
+	}
+	if len(f3.TraceEvents) != 3 || f3.TraceEvents[0].Phase != "B" || f3.TraceEvents[1].Phase != "E" {
+		t.Errorf("round trip lost B/E events: %+v", f3.TraceEvents)
 	}
 }
 

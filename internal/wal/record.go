@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"time"
 
 	"muri/internal/engine"
@@ -39,6 +40,11 @@ const (
 	KindGroup Kind = "group"
 	// KindTerm is one election-term change (promotion, fencing).
 	KindTerm Kind = "term"
+	// KindCause is one decision-provenance annotation: a wait-cause
+	// transition for a job, a note (starvation boost), or a global
+	// adoption-freeze boundary. Pure observability — replay feeds these
+	// only to the explain builder, never to the engine.
+	KindCause Kind = "cause"
 )
 
 // Record is one WAL entry. Exactly one payload field matching Kind is
@@ -59,6 +65,18 @@ type Record struct {
 	Progress *ProgressRecord `json:"progress,omitempty"`
 	Group    *GroupRecord    `json:"group,omitempty"`
 	Term     *TermRecord     `json:"term,omitempty"`
+	Cause    *CauseRecord    `json:"cause,omitempty"`
+}
+
+// CauseRecord is one provenance annotation. Job 0 with the
+// adoption-freeze cause marks a global freeze boundary (Detail "start"
+// or "end"); Note records annotate a job's timeline without changing
+// its open span (starvation boosts).
+type CauseRecord struct {
+	Job    int64  `json:"job,omitempty"`
+	Cause  string `json:"cause"`
+	Detail string `json:"detail,omitempty"`
+	Note   bool   `json:"note,omitempty"`
 }
 
 // AdmitItem is one accepted submission inside an admission batch.
@@ -68,6 +86,13 @@ type AdmitItem struct {
 	AtWall int64 `json:"at_wall"`
 	// SubmitV is the virtual submit time the job was constructed with.
 	SubmitV int64 `json:"submit_v"`
+	// WaitV is the virtual time the submission spent in the ingest queue
+	// before this admission round drained it; SubmitV − WaitV is the
+	// job's timeline origin for wait attribution.
+	WaitV int64 `json:"wait_v,omitempty"`
+	// Depth is the ingest queue depth observed when the submission was
+	// accepted (provenance detail for the ingest-queue span).
+	Depth int `json:"depth,omitempty"`
 	// Profiling marks jobs admitted without a profile (they wait in the
 	// profiling phase until a dry run reports stages).
 	Profiling bool `json:"profiling,omitempty"`
@@ -85,6 +110,9 @@ type DecisionRecord struct {
 	Key    string  `json:"key,omitempty"`
 	Jobs   []int64 `json:"jobs,omitempty"`
 	Reason string  `json:"reason,omitempty"`
+	// Cause is the provenance annotation (preemptor identity, grouping
+	// efficiency, retry-budget state). Empty when provenance is off.
+	Cause string `json:"cause,omitempty"`
 }
 
 // ToDecision rebuilds the engine decision.
@@ -94,6 +122,7 @@ func (d *DecisionRecord) ToDecision() engine.Decision {
 		Action: engine.Action(d.Action),
 		Key:    d.Key,
 		Reason: engine.Reason(d.Reason),
+		Cause:  d.Cause,
 	}
 	for _, id := range d.Jobs {
 		dec.Jobs = append(dec.Jobs, job.ID(id))
@@ -108,6 +137,7 @@ func FromDecision(d engine.Decision) *DecisionRecord {
 		Action: string(d.Action),
 		Key:    d.Key,
 		Reason: string(d.Reason),
+		Cause:  d.Cause,
 	}
 	for _, id := range d.Jobs {
 		rec.Jobs = append(rec.Jobs, int64(id))
@@ -124,6 +154,9 @@ type FaultRecord struct {
 	DeadLettered bool   `json:"dead_lettered,omitempty"`
 	// NotBeforeWall is the post-backoff release time (unix nanos).
 	NotBeforeWall int64 `json:"not_before_wall,omitempty"`
+	// NotBeforeV is the post-backoff release time on the virtual clock,
+	// so wait attribution can split fault-backoff from capacity exactly.
+	NotBeforeV int64 `json:"not_before_v,omitempty"`
 }
 
 // DoneRecord is one job completion.
@@ -219,4 +252,9 @@ type Snapshot struct {
 	// of the tail re-feeds post-snapshot completions. Absent in
 	// snapshots taken before prediction mode existed.
 	Predictor *profile.OnlineState `json:"predictor,omitempty"`
+	// Explain is the decision-provenance builder's state (opaque to the
+	// WAL layer), checkpointed so a recovered daemon — or an offline
+	// muritrace reconstruction — renders explanations byte-identical to
+	// the uninterrupted live daemon. Absent in older snapshots.
+	Explain json.RawMessage `json:"explain,omitempty"`
 }
